@@ -1,0 +1,213 @@
+// Benchmarks regenerating every table and figure of Wright & Jarvis,
+// "Quantifying the Effects of Contention on Parallel File Systems"
+// (IPDPSW 2015). Each benchmark runs the corresponding experiment in
+// quick mode, reports its headline value as a custom metric, and (under
+// -v) logs the regenerated rows next to the paper's numbers.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+package pfsim
+
+import (
+	"fmt"
+	"testing"
+
+	"pfsim/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration, reporting
+// the named comparison as paper-vs-measured metrics.
+func benchExperiment(b *testing.B, id string, headline string) {
+	b.Helper()
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var out *experiments.Outcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = run(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range out.Comparisons {
+		if c.Metric == headline {
+			b.ReportMetric(c.Measured, "measured")
+			b.ReportMetric(c.Paper, "paper")
+		}
+	}
+	logOutcome(b, out)
+}
+
+func logOutcome(b *testing.B, out *experiments.Outcome) {
+	b.Helper()
+	for _, t := range out.Tables {
+		b.Logf("\n%s", t.String())
+	}
+	b.Logf("\n%s", out.ComparisonTable().String())
+	for _, n := range out.Notes {
+		b.Logf("note: %s", n)
+	}
+}
+
+// BenchmarkFigure1ParameterSweep regenerates Figure 1: the stripe count ×
+// stripe size sweep over 1,024 processes, its 160×128MB optimum and the
+// ~49× improvement over the default configuration.
+func BenchmarkFigure1ParameterSweep(b *testing.B) {
+	benchExperiment(b, "figure1", "speed-up over default")
+}
+
+// BenchmarkTable3LoadR160 regenerates Table III: Dinuse/Dreq/Dload on
+// lscratchc for 1..10 jobs of 160 stripes.
+func BenchmarkTable3LoadR160(b *testing.B) {
+	benchExperiment(b, "table3", "Dload at n=10")
+}
+
+// BenchmarkTable4LoadR64 regenerates Table IV (R = 64).
+func BenchmarkTable4LoadR64(b *testing.B) {
+	benchExperiment(b, "table4", "Dload at n=10")
+}
+
+// BenchmarkFigure2OSTContention regenerates Figure 2: per-process
+// bandwidth of 1..16 writers pinned to a single OST, against the scaled
+// ideal band.
+func BenchmarkFigure2OSTContention(b *testing.B) {
+	benchExperiment(b, "figure2", "single-writer MB/s")
+}
+
+// BenchmarkFigure3FourContendedJobs regenerates Figure 3: four
+// simultaneous tuned IOR tasks × five repetitions (~4,500 MB/s each,
+// 3.44× below the solo peak).
+func BenchmarkFigure3FourContendedJobs(b *testing.B) {
+	benchExperiment(b, "figure3", "per-task MB/s")
+}
+
+// BenchmarkTable5StripeReduction regenerates Table V / Figure 4: the
+// bandwidth/availability trade-off as per-job requests shrink 160 → 32.
+func BenchmarkTable5StripeReduction(b *testing.B) {
+	benchExperiment(b, "table5", "avg BW at R=160")
+}
+
+// BenchmarkTable6Stampede regenerates Table VI: predicted load on
+// Stampede's 160-OST file system with 128-stripe jobs.
+func BenchmarkTable6Stampede(b *testing.B) {
+	benchExperiment(b, "table6", "Dload at n=10")
+}
+
+// BenchmarkFigure5LustreVsPLFS regenerates Figure 5: tuned ad_lustre vs
+// ad_plfs from 16 to 4,096 processes, with PLFS peaking near 512 and
+// collapsing by 4,096.
+func BenchmarkFigure5LustreVsPLFS(b *testing.B) {
+	benchExperiment(b, "figure5", "PLFS MB/s at 4096")
+}
+
+// BenchmarkTable7ScalingData regenerates Table VII (the numeric Figure 5
+// data with 95% confidence intervals).
+func BenchmarkTable7ScalingData(b *testing.B) {
+	benchExperiment(b, "table7", "PLFS@512")
+}
+
+// BenchmarkTable8PLFSCollisions512 regenerates Table VIII: PLFS backend
+// collision statistics at 512 processes (load ≈ 2.4).
+func BenchmarkTable8PLFSCollisions512(b *testing.B) {
+	benchExperiment(b, "table8", "mean Dload")
+}
+
+// BenchmarkTable9PLFSCollisions4096 regenerates Table IX: collision
+// statistics at 4,096 processes (every OST in use, load 17.07).
+func BenchmarkTable9PLFSCollisions4096(b *testing.B) {
+	benchExperiment(b, "table9", "mean Dload")
+}
+
+// BenchmarkAblationAggregatorCap probes the calibrated aggregator
+// dispatch rate, the constant behind the Figure 1 optimum.
+func BenchmarkAblationAggregatorCap(b *testing.B) {
+	benchExperiment(b, "ablation-aggcap", "tuned BW halves when dispatch halves (ratio)")
+}
+
+// BenchmarkAblationThrash disables log-append thrash to show it — not the
+// open storm alone — drives the PLFS collapse.
+func BenchmarkAblationThrash(b *testing.B) {
+	benchExperiment(b, "ablation-thrash", "no-thrash/with-thrash BW ratio (>1.5 expected)")
+}
+
+// BenchmarkExtensionGATuner compares the Behzad-style genetic autotuner
+// against the exhaustive sweep.
+func BenchmarkExtensionGATuner(b *testing.B) {
+	benchExperiment(b, "extension-ga", "GA best vs exhaustive best (ratio)")
+}
+
+// BenchmarkExtensionReadback checks the Polte et al. read-back claim: data
+// written through PLFS reads back faster than the tuned shared file.
+func BenchmarkExtensionReadback(b *testing.B) {
+	benchExperiment(b, "extension-readback", "PLFS read gain over tuned Lustre read (>1 expected)")
+}
+
+// BenchmarkExtensionWideStriping lifts the Lustre 2.4.2 stripe limit (the
+// conclusion's Exascale discussion): modest solo gains, amplified QoS
+// damage under contention.
+func BenchmarkExtensionWideStriping(b *testing.B) {
+	benchExperiment(b, "extension-widestriping", "solo 480-stripe gain over 160 (ratio)")
+}
+
+// BenchmarkEquationKernels measures the raw analytic metric kernels —
+// the costs a monitoring tool would pay calling them per job submission.
+func BenchmarkEquationKernels(b *testing.B) {
+	b.Run("Dinuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Dinuse(480, 160, 10)
+		}
+	})
+	b.Run("LoadTable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = LoadTable(Lscratchc(), 160, 10)
+		}
+	})
+	b.Run("Availability", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Availability(Lscratchc(), 160, 4)
+		}
+	})
+	b.Run("Assignment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := AssignOSTs(uint64(i), 480, 160, 4)
+			if a.InUse() == 0 {
+				b.Fatal("empty assignment")
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatorThroughput measures the simulator itself: simulated
+// MB of I/O processed per wall-clock second for a tuned 1,024-process
+// write.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := TunedIOR(1024)
+	cfg.Reps = 1
+	cfg.Label = "bench-simthroughput"
+	totalMB := cfg.TotalMB()
+	for i := 0; i < b.N; i++ {
+		res, err := RunIOR(Cab(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Write.Mean() <= 0 {
+			b.Fatal("no bandwidth")
+		}
+	}
+	b.SetBytes(int64(totalMB * 1e6))
+}
+
+func ExampleDinuse() {
+	// Three jobs of 160 stripes on lscratchc's 480 OSTs.
+	fmt.Printf("%.2f\n", Dinuse(480, 160, 3))
+	// Output: 337.78
+}
+
+func ExamplePLFSLoad() {
+	// A 4,096-rank PLFS run loads every OST with ~17 stripe streams.
+	fmt.Printf("%.2f\n", PLFSLoad(480, 4096))
+	// Output: 17.07
+}

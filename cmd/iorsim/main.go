@@ -1,0 +1,103 @@
+// iorsim runs a single simulated IOR execution, mirroring the IOR command
+// line options used in the paper (Table II defaults).
+//
+// Usage:
+//
+//	iorsim -np 1024 -api lustre -stripes 160 -stripesize 128
+//	iorsim -np 512 -api plfs
+//	iorsim -np 16 -fpp -stripes 1 -stripesize 1 -offset 7   # Figure 2 style
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+	"pfsim/internal/mpiio"
+)
+
+func main() {
+	np := flag.Int("np", 1024, "number of MPI tasks")
+	api := flag.String("api", "lustre", "driver: ufs | lustre | plfs")
+	block := flag.Float64("b", 4, "block size per segment (MB)")
+	transfer := flag.Float64("t", 1, "transfer size (MB)")
+	segments := flag.Int("s", 100, "segment count")
+	stripes := flag.Int("stripes", 0, "striping_factor hint (0 = default)")
+	stripeSize := flag.Float64("stripesize", 0, "striping_unit hint in MB (0 = default)")
+	offset := flag.Int("offset", 0, "stripe_offset hint (>0 pins the first OST)")
+	reps := flag.Int("i", 5, "repetitions")
+	fpp := flag.Bool("fpp", false, "file per process")
+	read := flag.Bool("r", false, "read the file back")
+	jobs := flag.Int("jobs", 1, "simultaneous identical jobs (contended run)")
+	seed := flag.Uint64("seed", 0, "override platform RNG seed")
+	flag.Parse()
+
+	plat := cluster.Cab()
+	if *seed != 0 {
+		plat.Seed = *seed
+	}
+	cfg := ior.Config{
+		Label:          "iorsim",
+		BlockSizeMB:    *block,
+		TransferSizeMB: *transfer,
+		SegmentCount:   *segments,
+		NumTasks:       *np,
+		WriteFile:      true,
+		ReadFile:       *read,
+		FilePerProc:    *fpp,
+		Collective:     true,
+		Reps:           *reps,
+		Hints: mpiio.Hints{
+			StripingFactor: *stripes,
+			StripingUnitMB: *stripeSize,
+			StripeOffset:   *offset,
+		},
+	}
+	switch *api {
+	case "ufs":
+		cfg.API = mpiio.DriverUFS
+	case "lustre":
+		cfg.API = mpiio.DriverLustre
+	case "plfs":
+		cfg.API = mpiio.DriverPLFS
+	default:
+		fmt.Fprintf(os.Stderr, "iorsim: unknown api %q\n", *api)
+		os.Exit(2)
+	}
+
+	if *jobs > 1 {
+		results, err := ior.RunContended(plat, cfg, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iorsim:", err)
+			os.Exit(1)
+		}
+		total := 0.0
+		for j, res := range results {
+			lo, hi := res.Write.CI95()
+			fmt.Printf("job %d: write %.2f MB/s  95%% CI (%.2f, %.2f)\n", j, res.Write.Mean(), lo, hi)
+			total += res.Write.Mean()
+		}
+		fmt.Printf("total: %.2f MB/s across %d jobs\n", total, *jobs)
+		return
+	}
+
+	res, err := ior.Run(plat, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iorsim:", err)
+		os.Exit(1)
+	}
+	lo, hi := res.Write.CI95()
+	fmt.Printf("%s, %d tasks, %.0f MB per task\n", cfg.API, *np, cfg.PerRankMB())
+	fmt.Printf("write: %.2f MB/s  95%% CI (%.2f, %.2f)  reps %d\n",
+		res.Write.Mean(), lo, hi, res.Write.N())
+	if *read {
+		rlo, rhi := res.Read.CI95()
+		fmt.Printf("read:  %.2f MB/s  95%% CI (%.2f, %.2f)\n", res.Read.Mean(), rlo, rhi)
+	}
+	if len(res.PLFS) > 0 {
+		a := res.PLFS[len(res.PLFS)-1]
+		fmt.Printf("plfs backend: %d OSTs in use, load %.2f\n", a.InUse(), a.Load())
+	}
+}

@@ -1,0 +1,75 @@
+// pfsim-contend reproduces the Section V contention experiments:
+//
+//	pfsim-contend -experiment figure2   # single-OST contention curve
+//	pfsim-contend -experiment figure3   # 4 tuned jobs × 5 repetitions
+//	pfsim-contend -experiment table5    # stripe-request trade-off
+//	pfsim-contend -jobs 6 -r 96         # custom contended run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/core"
+	"pfsim/internal/experiments"
+	"pfsim/internal/ior"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "figure2 | figure3 | table5 (paper artefacts)")
+	jobs := flag.Int("jobs", 4, "simultaneous jobs for a custom run")
+	r := flag.Int("r", 160, "stripes per job for a custom run")
+	sizeMB := flag.Float64("stripesize", 128, "stripe size (MB) for a custom run")
+	tasks := flag.Int("tasks", 1024, "tasks per job")
+	reps := flag.Int("reps", 5, "repetitions per job")
+	quick := flag.Bool("quick", false, "fewer repetitions / volume for paper artefacts")
+	flag.Parse()
+
+	if *exp != "" {
+		run, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pfsim-contend: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		out, err := run(experiments.Options{Quick: *quick})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfsim-contend:", err)
+			os.Exit(1)
+		}
+		for _, t := range out.Tables {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		out.ComparisonTable().Fprint(os.Stdout)
+		for _, n := range out.Notes {
+			fmt.Println("note:", n)
+		}
+		return
+	}
+
+	plat := cluster.Cab()
+	base := ior.PaperConfig(*tasks)
+	base.Label = "contend"
+	base.Reps = *reps
+	base.Hints.StripingFactor = *r
+	base.Hints.StripingUnitMB = *sizeMB
+	results, err := ior.RunContended(plat, base, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfsim-contend:", err)
+		os.Exit(1)
+	}
+	total := 0.0
+	for j, res := range results {
+		lo, hi := res.Write.CI95()
+		fmt.Printf("job %d: %.0f MB/s  95%% CI (%.0f, %.0f)\n", j, res.Write.Mean(), lo, hi)
+		total += res.Write.Mean()
+	}
+	fmt.Printf("total: %.0f MB/s\n\n", total)
+	fmt.Printf("predicted Dinuse %.2f, Dload %.2f (Equations 2-4)\n",
+		core.Dinuse(plat.OSTs, *r, *jobs), core.Dload(plat.OSTs, *r, *jobs))
+	q := core.Availability(core.FileSystem{Name: plat.Name, TotalOSTs: plat.OSTs, MaxStripeCount: plat.MaxStripeCount}, *r, *jobs)
+	fmt.Printf("availability: %.0f OSTs free (%.0f%%), collision probability %.2f\n",
+		q.FreeOSTs, 100*q.FreeFraction, q.CollisionProb)
+}

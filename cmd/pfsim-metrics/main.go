@@ -1,0 +1,92 @@
+// pfsim-metrics prints the paper's analytic contention metrics: the load
+// tables (Tables III, IV and VI), predictions for arbitrary file systems,
+// and PLFS self-contention estimates (Equations 5-6).
+//
+// Usage:
+//
+//	pfsim-metrics                     # reproduce Tables III, IV and VI
+//	pfsim-metrics -dtotal 480 -r 96 -jobs 8
+//	pfsim-metrics -plfs-ranks 2048    # PLFS load at a rank count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfsim/internal/core"
+	"pfsim/internal/report"
+)
+
+func main() {
+	dtotal := flag.Int("dtotal", 480, "number of OSTs exposed by the file system")
+	r := flag.Int("r", 0, "per-job stripe request; 0 prints the paper's tables")
+	jobs := flag.Int("jobs", 10, "maximum number of concurrent jobs")
+	plfsRanks := flag.Int("plfs-ranks", 0, "PLFS application rank count (Equations 5-6)")
+	maxLoad := flag.Float64("maxload", 0, "recommend the smallest request keeping load <= maxload")
+	flag.Parse()
+
+	switch {
+	case *plfsRanks > 0:
+		printPLFS(*dtotal, *plfsRanks)
+	case *r > 0:
+		printCustom(*dtotal, *r, *jobs, *maxLoad)
+	default:
+		printPaperTables()
+	}
+}
+
+func printPaperTables() {
+	for _, tc := range []struct {
+		title string
+		fs    core.FileSystem
+		r     int
+	}{
+		{"Table III: lscratchc, R=160", core.Lscratchc(), 160},
+		{"Table IV: lscratchc, R=64", core.Lscratchc(), 64},
+		{"Table VI: Stampede, R=128", core.Stampede(), 128},
+	} {
+		printLoadTable(tc.title, tc.fs, tc.r, 10)
+		fmt.Println()
+	}
+}
+
+func printLoadTable(title string, fs core.FileSystem, r, jobs int) {
+	t := report.NewTable(title, "Jobs", "Dinuse", "Dreq", "Dload")
+	for _, row := range core.LoadTable(fs, r, jobs) {
+		t.AddRow(row.Jobs, row.Dinuse, row.Dreq, row.Dload)
+	}
+	t.Fprint(os.Stdout)
+}
+
+func printCustom(dtotal, r, jobs int, maxLoad float64) {
+	fs := core.FileSystem{Name: "custom", TotalOSTs: dtotal, MaxStripeCount: dtotal}
+	if err := fs.Validate(r); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	printLoadTable(fmt.Sprintf("Dtotal=%d, R=%d", dtotal, r), fs, r, jobs)
+	q := core.Availability(fs, r, jobs)
+	fmt.Printf("\nWith %d jobs: %.1f OSTs free (%.0f%%), collision probability %.2f, expected max sharers %.1f\n",
+		jobs, q.FreeOSTs, 100*q.FreeFraction, q.CollisionProb, q.ExpectedMaxSharers)
+	if maxLoad > 0 {
+		candidates := []int{}
+		for c := 8; c <= dtotal; c *= 2 {
+			candidates = append(candidates, c)
+		}
+		if rec := core.RecommendRequest(fs, jobs, maxLoad, candidates); rec > 0 {
+			fmt.Printf("Smallest power-of-two request keeping load <= %.2f: %d stripes (load %.2f)\n",
+				maxLoad, rec, core.Dload(dtotal, rec, jobs))
+		} else {
+			fmt.Printf("No request keeps load <= %.2f with %d jobs on %d OSTs\n", maxLoad, jobs, dtotal)
+		}
+	}
+}
+
+func printPLFS(dtotal, ranks int) {
+	fmt.Printf("PLFS on %d OSTs with %d ranks (R=2 per rank):\n", dtotal, ranks)
+	fmt.Printf("  Dinuse (Eq. 5): %.2f\n", core.PLFSDinuse(dtotal, ranks))
+	fmt.Printf("  Dload  (Eq. 6): %.2f\n", core.PLFSLoad(dtotal, ranks))
+	be := core.PLFSBreakEvenRanks(dtotal, 3)
+	fmt.Printf("  Load exceeds 3 tasks/OST (the paper's \"good\" threshold) beyond %d ranks\n", be)
+}

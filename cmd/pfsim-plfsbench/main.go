@@ -1,0 +1,52 @@
+// pfsim-plfsbench reproduces the Section VI PLFS study: the Lustre-vs-PLFS
+// scaling comparison (Figure 5 / Table VII) and the backend collision
+// statistics (Tables VIII and IX).
+//
+// Usage:
+//
+//	pfsim-plfsbench                  # Figure 5 + Tables VIII and IX
+//	pfsim-plfsbench -only figure5
+//	pfsim-plfsbench -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfsim/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "figure5 | table7 | table8 | table9")
+	quick := flag.Bool("quick", false, "fewer repetitions")
+	flag.Parse()
+
+	ids := []string{"figure5", "table8", "table9"}
+	if *only != "" {
+		ids = []string{*only}
+	}
+	opt := experiments.Options{Quick: *quick}
+	for _, id := range ids {
+		run, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pfsim-plfsbench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		out, err := run(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfsim-plfsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s ==\n", out.ID, out.Title)
+		for _, t := range out.Tables {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		out.ComparisonTable().Fprint(os.Stdout)
+		for _, n := range out.Notes {
+			fmt.Println("note:", n)
+		}
+		fmt.Println()
+	}
+}

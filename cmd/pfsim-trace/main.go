@@ -1,0 +1,112 @@
+// pfsim-trace runs one simulated IOR execution with the I/O tracer
+// attached and reports what happened inside: per-transfer records, the
+// slowest streams (the stragglers that set the job's bandwidth), and an
+// aggregate throughput timeline. Use -csv to dump the raw trace.
+//
+// Usage:
+//
+//	pfsim-trace -np 1024 -stripes 160 -stripesize 128
+//	pfsim-trace -np 512 -api plfs -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+	"pfsim/internal/lustre"
+	"pfsim/internal/mpiio"
+	"pfsim/internal/report"
+	"pfsim/internal/sim"
+	"pfsim/internal/stats"
+	"pfsim/internal/trace"
+)
+
+func main() {
+	np := flag.Int("np", 1024, "number of MPI tasks")
+	api := flag.String("api", "lustre", "driver: ufs | lustre | plfs")
+	stripes := flag.Int("stripes", 160, "striping_factor hint")
+	stripeSize := flag.Float64("stripesize", 128, "striping_unit hint (MB)")
+	segments := flag.Int("s", 100, "segment count")
+	csvPath := flag.String("csv", "", "write the raw transfer trace to this file")
+	slowest := flag.Int("slowest", 5, "how many straggler transfers to list")
+	flag.Parse()
+
+	plat := cluster.Cab()
+	cfg := ior.PaperConfig(*np)
+	cfg.Label = "trace"
+	cfg.Reps = 1
+	cfg.SegmentCount = *segments
+	cfg.Hints.StripingFactor = *stripes
+	cfg.Hints.StripingUnitMB = *stripeSize
+	switch *api {
+	case "ufs":
+		cfg.API = mpiio.DriverUFS
+	case "lustre":
+		cfg.API = mpiio.DriverLustre
+	case "plfs":
+		cfg.API = mpiio.DriverPLFS
+	default:
+		fmt.Fprintf(os.Stderr, "pfsim-trace: unknown api %q\n", *api)
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(plat.Seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
+		os.Exit(1)
+	}
+	rec := &trace.Recorder{}
+	rec.Attach(sys.Net())
+	job, err := ior.StartJob(sys, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
+		os.Exit(1)
+	}
+	if err := eng.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
+		os.Exit(1)
+	}
+	if job.Err() != nil {
+		fmt.Fprintln(os.Stderr, "pfsim-trace:", job.Err())
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, %d tasks: %.0f MB/s\n\n", cfg.API, *np, job.Result.Write.Mean())
+	fmt.Printf("transfers: %d (peak concurrency %d), %.0f MB moved\n",
+		rec.Len(), rec.MaxConcurrent(), rec.TotalMB())
+	start, end := rec.Makespan()
+	fmt.Printf("makespan:  %.2f s (%.2f .. %.2f)\n\n", end-start, start, end)
+
+	t := report.NewTable(fmt.Sprintf("%d slowest transfers", *slowest),
+		"Name", "Start", "End", "MB", "MB/s")
+	for _, r := range rec.Slowest(*slowest) {
+		t.AddRow(r.Name, r.Start, r.End, r.SizeMB, r.MeanMBs)
+	}
+	t.Fprint(os.Stdout)
+
+	tl := rec.Timeline((end - start) / 20)
+	labels := make([]string, len(tl))
+	for i := range tl {
+		labels[i] = fmt.Sprintf("t%02d", i)
+	}
+	fmt.Println()
+	report.Bars(os.Stdout, "aggregate throughput timeline (MB/s)", labels, tl, 40)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,53 @@
+// Autotune: find an optimal Lustre configuration for an IOR workload by
+// exhaustive parameter sweep, as in Section IV of the paper (Figure 1),
+// and check how much of the gain survives when neighbours contend.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfsim"
+)
+
+func main() {
+	plat := pfsim.Cab()
+
+	// Sweep stripe count × stripe size for a 256-process IOR job. (The
+	// paper sweeps 1,024 processes; smaller here to keep the example
+	// snappy — try 1024 yourself.)
+	const tasks = 256
+	fmt.Printf("Sweeping stripe count × size for %d processes on %s...\n", tasks, plat.Name)
+	best, err := pfsim.Autotune(plat, tasks, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  optimum: %d stripes × %g MB = %.0f MB/s\n",
+		best.StripeCount, best.StripeSizeMB, best.MBs)
+
+	// How does the tuned configuration hold up against three neighbours
+	// running the same thing? (Section V's warning about auto-tuning
+	// without regard for QoS.)
+	cfg := pfsim.PaperIOR(tasks)
+	cfg.Hints.StripingFactor = best.StripeCount
+	cfg.Hints.StripingUnitMB = best.StripeSizeMB
+	cfg.Reps = 3
+	solo, err := pfsim.RunIOR(plat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contended, err := pfsim.RunContended(plat, cfg, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean := 0.0
+	for _, r := range contended {
+		mean += r.Write.Mean()
+	}
+	mean /= float64(len(contended))
+	fmt.Printf("\nTuned job alone:          %.0f MB/s\n", solo.Write.Mean())
+	fmt.Printf("Same job, 4 contending:   %.0f MB/s per job (%.1f× slower)\n",
+		mean, solo.Write.Mean()/mean)
+	fmt.Printf("Predicted OST load with 4 jobs: %.2f\n",
+		pfsim.Dload(plat.OSTs, best.StripeCount, 4))
+}

@@ -1,0 +1,64 @@
+// Capacityplanning: the paper's conclusion suggests using the contention
+// metrics for purchasing decisions — "the number of OSTs can be increased
+// in order to reduce the OST load for a theoretically average I/O
+// workload". This example sizes a file system for a target workload and
+// checks the choice by simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfsim"
+)
+
+func main() {
+	// Target workload: at any moment, 8 concurrent jobs each striping
+	// over 64 OSTs; the site wants the average OST load kept at 1.25.
+	const (
+		jobs    = 8
+		request = 64
+		maxLoad = 1.25
+	)
+	need := pfsim.MinOSTsForLoad(request, jobs, maxLoad)
+	fmt.Printf("Workload: %d jobs × %d stripes, target load <= %.2f\n", jobs, request, maxLoad)
+	fmt.Printf("Required OSTs: %d (lscratchc has 480)\n\n", need)
+
+	fmt.Println("Dtotal   Dload    free OSTs")
+	for _, dtotal := range []int{480, 720, need, 1440} {
+		load := pfsim.Dload(dtotal, request, jobs)
+		free := float64(dtotal) - pfsim.Dinuse(dtotal, request, jobs)
+		marker := ""
+		if dtotal == need {
+			marker = "  <- sized for target"
+		}
+		fmt.Printf("%-8d %-8.2f %-9.0f%s\n", dtotal, load, free, marker)
+	}
+
+	// Validate by simulation: run the 8-job workload on a platform scaled
+	// to the recommended OST count and compare per-job bandwidth with the
+	// 480-OST baseline. OSS count scales with the storage.
+	fmt.Println("\nSimulating 8 contending jobs (256 procs each):")
+	for _, dtotal := range []int{480, need} {
+		plat := pfsim.Cab()
+		plat.OSTs = dtotal
+		plat.OSSs = dtotal / 15
+		plat.BackboneMBs *= float64(dtotal) / 480 // backbone grows with the I/O network
+		cfg := pfsim.PaperIOR(256)
+		cfg.Label = fmt.Sprintf("plan-%d", dtotal)
+		cfg.Hints.StripingFactor = request
+		cfg.Hints.StripingUnitMB = 128
+		cfg.Reps = 3
+		results, err := pfsim.RunContended(plat, cfg, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := 0.0
+		for _, r := range results {
+			mean += r.Write.Mean()
+		}
+		mean /= jobs
+		fmt.Printf("  %4d OSTs: %.0f MB/s per job (predicted load %.2f)\n",
+			dtotal, mean, pfsim.Dload(dtotal, request, jobs))
+	}
+}

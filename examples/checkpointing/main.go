@@ -1,0 +1,62 @@
+// Checkpointing: the paper's motivation — checkpoint writes are becoming
+// the bottleneck for failure-prone large machines. This example connects
+// the reproduced I/O results to application goodput: how much useful
+// compute a 1,024-rank simulation retains under different file system
+// configurations, using Young's optimal checkpoint interval.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfsim"
+	"pfsim/internal/workload"
+)
+
+func main() {
+	app := workload.Checkpoint{
+		Ranks:          1024,
+		StateMBPerRank: 400,       // the Table II volume
+		ComputeSeconds: 3600,      // an hour of compute per checkpoint era
+		MTBFSeconds:    24 * 3600, // one failure a day
+	}
+	plat := pfsim.Cab()
+
+	fmt.Printf("Checkpointing app: %d ranks × %.0f MB state, MTBF %.0f h\n\n",
+		app.Ranks, app.StateMBPerRank, app.MTBFSeconds/3600)
+
+	configs := []struct {
+		name string
+		cfg  pfsim.IORConfig
+	}{
+		{"default (ad_ufs, 2×1MB)", func() pfsim.IORConfig {
+			c := pfsim.PaperIOR(1024)
+			c.API = pfsim.DriverUFS
+			return c
+		}()},
+		{"tuned (ad_lustre, 160×128MB)", pfsim.TunedIOR(1024)},
+		{"PLFS (ad_plfs)", func() pfsim.IORConfig {
+			c := pfsim.PaperIOR(1024)
+			c.API = pfsim.DriverPLFS
+			return c
+		}()},
+	}
+
+	fmt.Println("config                          MB/s     ckpt time   Young interval   goodput")
+	for _, tc := range configs {
+		cfg := tc.cfg
+		cfg.Label = "ckpt-" + tc.name[:7]
+		cfg.Reps = 3
+		res, err := pfsim.RunIOR(plat, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := res.Write.Mean()
+		fmt.Printf("%-30s  %-7.0f  %-10.0fs  %-15.0fs  %.1f%%\n",
+			tc.name, bw, app.WriteSeconds(bw), app.YoungInterval(bw),
+			100*app.GoodputFraction(bw))
+	}
+
+	fmt.Println("\nFaster checkpoints permit shorter intervals and waste less work per")
+	fmt.Println("failure — the paper's 49× I/O tuning translates directly into goodput.")
+}

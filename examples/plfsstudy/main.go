@@ -1,0 +1,60 @@
+// Plfsstudy: Section VI of the paper — PLFS transforms an N-to-1 write
+// into N two-stripe logs, so a single application self-contends at scale.
+// This example sweeps the rank count, comparing PLFS against the tuned
+// Lustre driver and explaining the collapse with Equations 5-6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfsim"
+)
+
+func main() {
+	plat := pfsim.Cab()
+	fmt.Printf("PLFS vs tuned ad_lustre on %s (write-only IOR, 400 MB/rank)\n\n", plat.Name)
+	fmt.Println("ranks   lustre MB/s   plfs MB/s   plfs Dload (Eq. 6)   winner")
+
+	for _, ranks := range []int{64, 256, 512, 1024, 2048} {
+		lustre := pfsim.TunedIOR(ranks)
+		lustre.Label = fmt.Sprintf("study-lustre-%d", ranks)
+		lustre.Reps = 2
+		lres, err := pfsim.RunIOR(plat, lustre)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plfs := pfsim.PaperIOR(ranks)
+		plfs.Label = fmt.Sprintf("study-plfs-%d", ranks)
+		plfs.API = pfsim.DriverPLFS
+		plfs.Reps = 2
+		pres, err := pfsim.RunIOR(plat, plfs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "lustre"
+		if pres.Write.Mean() > lres.Write.Mean() {
+			winner = "plfs"
+		}
+		fmt.Printf("%-7d %-13.0f %-11.0f %-20.2f %s\n",
+			ranks, lres.Write.Mean(), pres.Write.Mean(),
+			pfsim.PLFSLoad(plat.OSTs, ranks), winner)
+	}
+
+	// Where does PLFS stop being "good"? The paper calls 3 tasks per OST
+	// the threshold, reached at 688 cores on lscratchc.
+	be := pfsim.PLFSBreakEvenRanks(plat.OSTs, 3)
+	fmt.Printf("\nPLFS exceeds 3 logs/OST beyond %d ranks (paper: 688)\n", be)
+
+	// Inspect one realised backend layout: the assignment of a 512-rank
+	// run and its collision profile.
+	a := pfsim.AssignOSTs(42, plat.OSTs, 2, 512)
+	h := a.CollisionHistogram()
+	fmt.Printf("\n512-rank backend layout: %d OSTs in use, load %.2f\n", a.InUse(), a.Load())
+	fmt.Println("collisions -> OST count:")
+	for c, n := range h.Counts() {
+		if n > 0 {
+			fmt.Printf("  %d: %d\n", c, n)
+		}
+	}
+}

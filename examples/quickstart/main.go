@@ -1,0 +1,47 @@
+// Quickstart: compute the paper's contention metrics for a file system
+// and run one simulated IOR job on the Cab/lscratchc model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfsim"
+)
+
+func main() {
+	// 1. Analytic metrics (no simulation needed). lscratchc exposes 480
+	// OSTs; suppose four jobs each stripe across 160 of them — the
+	// worst-case scenario of the paper's Section V.
+	fs := pfsim.Lscratchc()
+	fmt.Println("Four tuned jobs on lscratchc (Equations 2-4):")
+	fmt.Printf("  OSTs in use (Dinuse):   %.2f of %d\n", pfsim.Dinuse(fs.TotalOSTs, 160, 4), fs.TotalOSTs)
+	fmt.Printf("  Average OST load:       %.2f jobs per OST\n", pfsim.Dload(fs.TotalOSTs, 160, 4))
+	q := pfsim.Availability(fs, 160, 4)
+	fmt.Printf("  Free OSTs:              %.0f (%.0f%%)\n", q.FreeOSTs, 100*q.FreeFraction)
+	fmt.Printf("  P(shared OST):          %.2f\n", q.CollisionProb)
+
+	// 2. Simulate the paper's headline IOR run: 1,024 processes writing
+	// 400 MB each through the tuned ad_lustre configuration.
+	plat := pfsim.Cab()
+	tuned := pfsim.TunedIOR(1024)
+	tuned.Reps = 3
+	res, err := pfsim.RunIOR(plat, tuned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := res.Write.CI95()
+	fmt.Printf("\nTuned IOR (160 stripes × 128 MB), 1,024 processes:\n")
+	fmt.Printf("  write bandwidth: %.0f MB/s  95%% CI (%.0f, %.0f)\n", res.Write.Mean(), lo, hi)
+
+	// 3. Compare with the default configuration (ad_ufs, 2 × 1 MB).
+	def := pfsim.PaperIOR(1024)
+	def.API = pfsim.DriverUFS
+	def.Reps = 3
+	defRes, err := pfsim.RunIOR(plat, def)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  default config:  %.0f MB/s  →  tuning gains %.0f×\n",
+		defRes.Write.Mean(), res.Write.Mean()/defRes.Write.Mean())
+}

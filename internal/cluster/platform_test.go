@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCabMatchesTableI(t *testing.T) {
+	p := Cab()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Cab invalid: %v", err)
+	}
+	if p.Nodes != 1200 || p.CoresPerNode != 16 {
+		t.Errorf("Cab compute = %d nodes × %d cores", p.Nodes, p.CoresPerNode)
+	}
+	if p.OSTs != 480 || p.OSSs != 32 {
+		t.Errorf("Cab storage = %d OSTs / %d OSSs", p.OSTs, p.OSSs)
+	}
+	if p.MaxStripeCount != 160 {
+		t.Errorf("stripe limit = %d, want 160 (Lustre 2.4.2)", p.MaxStripeCount)
+	}
+	if p.DefaultStripeCount != 2 || p.DefaultStripeSizeMB != 1 {
+		t.Errorf("defaults = %d × %v MB, want 2 × 1 MB", p.DefaultStripeCount, p.DefaultStripeSizeMB)
+	}
+	if p.OSTsPerOSS() != 15 {
+		t.Errorf("OSTs per OSS = %d, want 15", p.OSTsPerOSS())
+	}
+	if p.TotalCores() != 19200 {
+		t.Errorf("total cores = %d, want 19200", p.TotalCores())
+	}
+}
+
+func TestStampedeMatchesTableVI(t *testing.T) {
+	p := Stampede()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Stampede invalid: %v", err)
+	}
+	if p.OSTs != 160 || p.OSSs != 58 {
+		t.Errorf("Stampede storage = %d OSTs / %d OSSs, want 160/58", p.OSTs, p.OSSs)
+	}
+}
+
+func TestNodesFor(t *testing.T) {
+	p := Cab()
+	cases := []struct{ procs, nodes int }{
+		{1, 1}, {16, 1}, {17, 2}, {1024, 64}, {4096, 256}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := p.NodesFor(c.procs); got != c.nodes {
+			t.Errorf("NodesFor(%d) = %d, want %d", c.procs, got, c.nodes)
+		}
+	}
+}
+
+func TestClassEfficiency(t *testing.T) {
+	cp := ClassParams{BaseMBs: 100, RPCOverheadMB: 1}
+	if got := cp.Efficiency(1); got != 0.5 {
+		t.Errorf("eff(1) = %v, want 0.5", got)
+	}
+	if got := cp.Efficiency(0); got != 1 {
+		t.Errorf("eff(0) = %v, want 1", got)
+	}
+	noOverhead := ClassParams{BaseMBs: 100}
+	if got := noOverhead.Efficiency(0.1); got != 1 {
+		t.Errorf("no-overhead eff = %v, want 1", got)
+	}
+	// Monotone increasing in RPC size.
+	prev := 0.0
+	for _, s := range []float64{0.5, 1, 4, 16, 64, 256} {
+		e := cp.Efficiency(s)
+		if e <= prev {
+			t.Errorf("efficiency not increasing at %v MB: %v <= %v", s, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestAggregatorEfficiencyPeaksNear128(t *testing.T) {
+	// The dirty-window term must make 128 MB stripes the best of the
+	// paper's Figure 1 series {32, 64, 128, 256}.
+	p := Cab()
+	sizes := []float64{32, 64, 128, 256}
+	best, bestEff := 0.0, 0.0
+	for _, s := range sizes {
+		if e := p.AggregatorEfficiency(s); e > bestEff {
+			best, bestEff = s, e
+		}
+	}
+	if best != 128 {
+		t.Errorf("aggregator efficiency argmax = %v MB, want 128", best)
+	}
+	// 1 MB stripes should be crippled (anchor: 4,075/15,609 ≈ 0.26).
+	ratio := p.AggregatorEfficiency(1) / p.AggregatorEfficiency(128)
+	if ratio < 0.2 || ratio > 0.35 {
+		t.Errorf("1MB/128MB efficiency ratio = %v, want ~0.26", ratio)
+	}
+	if got := p.AggregatorEfficiency(0); got != 1 {
+		t.Errorf("eff(0) = %v, want 1", got)
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// Keep the headline calibration honest: these identities underpin the
+	// experiment reproductions and must not drift silently.
+	p := Cab()
+
+	// Default config: 2 OSTs × 1 MB stripes ≈ 313 MB/s (OST-bound).
+	coll := p.Class[ClassCollective]
+	defaultBW := 2 * coll.BaseMBs * coll.Efficiency(1)
+	if defaultBW < 280 || defaultBW < 0.8*313 || defaultBW > 1.2*313 {
+		t.Errorf("default-config anchor = %.0f MB/s, want ≈313", defaultBW)
+	}
+
+	// Tuned config: 64 aggregators ≈ 15.6 GB/s (aggregator-bound).
+	tuned := 64 * p.AggregatorMBs * p.AggregatorEfficiency(128)
+	if tuned < 0.85*15609 || tuned > 1.15*15609 {
+		t.Errorf("tuned anchor = %.0f MB/s, want ≈15609", tuned)
+	}
+
+	// Improvement factor ≈ 49×.
+	if f := tuned / defaultBW; f < 40 || f > 60 {
+		t.Errorf("improvement factor = %.1f×, want ≈49×", f)
+	}
+
+	// 1 MB stripes across 160 OSTs ≈ 4,075 MB/s.
+	oneMB := 64 * p.AggregatorMBs * p.AggregatorEfficiency(1)
+	if oneMB < 0.75*4075 || oneMB > 1.25*4075 {
+		t.Errorf("1MB-stripe anchor = %.0f MB/s, want ≈4075", oneMB)
+	}
+
+	// PLFS small scale: 16 ranks × PLFSRankMBs ≈ 753 MB/s.
+	if got := 16 * p.PLFSRankMBs; got < 0.8*753 || got > 1.2*753 {
+		t.Errorf("PLFS 16-rank anchor = %.0f, want ≈753", got)
+	}
+
+	// PLFS 4,096 ranks (Table VII): the run is tail-dominated — the
+	// hottest OST holds ~30 logs (Table IX observes up to 35). Tail time =
+	// 200 MB per stream at A(30)/30, plus the serialized open storm,
+	// should land near the paper's 3,069 MB/s.
+	logc := p.Class[ClassLogAppend]
+	a30 := logc.BaseMBs / logc.Penalty(30)
+	tail := 200.0 / (a30 / 30.0)
+	create := 4096 * 2 * p.PLFSCreateTime
+	bw := 4096 * 400.0 / (tail + create)
+	if bw < 0.6*3069 || bw > 1.6*3069 {
+		t.Errorf("PLFS 4096-rank tail anchor = %.0f MB/s, want ≈3069", bw)
+	}
+
+	// PLFS 512 ranks: hottest OST ~8 logs — still nearly rank-rate-bound,
+	// so the job is limited by PLFSRankMBs and the create storm
+	// (paper: 10,723 MB/s).
+	a8 := logc.BaseMBs / logc.Penalty(8)
+	perStream := a8 / 8
+	rankStream := p.PLFSRankMBs / 2
+	if perStream < 0.9*rankStream {
+		t.Errorf("512-rank hottest OST per-stream %.1f should stay near the rank cap %.1f", perStream, rankStream)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Platform){
+		func(p *Platform) { p.Nodes = 0 },
+		func(p *Platform) { p.CoresPerNode = -1 },
+		func(p *Platform) { p.NICMBs = 0 },
+		func(p *Platform) { p.BackboneMBs = -5 },
+		func(p *Platform) { p.OSTs = 0 },
+		func(p *Platform) { p.OSTs = 31 }, // fewer OSTs than OSSs
+		func(p *Platform) { p.MaxStripeCount = 0 },
+		func(p *Platform) { p.MaxStripeCount = 9999 },
+		func(p *Platform) { p.DefaultStripeCount = 0 },
+		func(p *Platform) { p.DefaultStripeSizeMB = 0 },
+		func(p *Platform) { p.MDSOpTime = -1 },
+		func(p *Platform) { p.AggregatorMBs = 0 },
+		func(p *Platform) { p.PLFSRankMBs = 0 },
+		func(p *Platform) { p.CollBufferMB = 0 },
+		func(p *Platform) { p.PLFSSubdirs = 0 },
+		func(p *Platform) { p.JitterCV = 0.9 },
+		func(p *Platform) { p.Class[ClassCollective].BaseMBs = 0 },
+		func(p *Platform) { p.Class[ClassLogAppend].ThrashGamma = -1 },
+	}
+	for i, mut := range mutations {
+		p := Cab()
+		mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught by Validate", i)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassCollective.String() != "collective" ||
+		ClassSequential.String() != "sequential" ||
+		ClassLogAppend.String() != "log-append" {
+		t.Errorf("class names wrong: %v %v %v", ClassCollective, ClassSequential, ClassLogAppend)
+	}
+	if s := StreamClass(9).String(); s != "class(9)" {
+		t.Errorf("unknown class = %q", s)
+	}
+}
+
+func TestThrashOrdering(t *testing.T) {
+	// Log-append must thrash far harder than collective, which must thrash
+	// harder than coordinated sequential streams — the paper's qualitative
+	// ranking.
+	p := Cab()
+	// Compare realised penalties at high sharing (k = 17, the 4,096-rank
+	// PLFS load): log-append must degrade hardest, coordinated sequential
+	// streams least.
+	if !(p.Class[ClassLogAppend].Penalty(17) > p.Class[ClassCollective].Penalty(17)) {
+		t.Error("log-append should thrash more than collective at high load")
+	}
+	if !(p.Class[ClassCollective].Penalty(17) > p.Class[ClassSequential].Penalty(17)) {
+		t.Error("collective should thrash more than sequential")
+	}
+	// Below its onset, log-append behaves like an unshared stream.
+	if got := p.Class[ClassLogAppend].Penalty(3); got != 1 {
+		t.Errorf("log-append penalty below onset = %v, want 1", got)
+	}
+	if math.Abs(p.Class[ClassSequential].BaseMBs-288) > 1 {
+		t.Errorf("sequential base = %v, want 288 (Fig 2 anchor)", p.Class[ClassSequential].BaseMBs)
+	}
+}
+
+func TestOSSOf(t *testing.T) {
+	p := Cab()
+	// Evenly divisible: OST 0 -> OSS 0, OST 479 -> OSS 31, 15 per OSS.
+	counts := make([]int, p.OSSs)
+	prev := 0
+	for o := 0; o < p.OSTs; o++ {
+		s := p.OSSOf(o)
+		if s < prev {
+			t.Fatalf("OSSOf not monotone at OST %d", o)
+		}
+		prev = s
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != 15 {
+			t.Errorf("OSS %d hosts %d OSTs, want 15", s, c)
+		}
+	}
+	// Uneven case (Stampede): every OSS hosts 2 or 3 of the 160 OSTs.
+	sp := Stampede()
+	sc := make([]int, sp.OSSs)
+	for o := 0; o < sp.OSTs; o++ {
+		sc[sp.OSSOf(o)]++
+	}
+	for s, c := range sc {
+		if c < 2 || c > 3 {
+			t.Errorf("Stampede OSS %d hosts %d OSTs, want 2-3", s, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for out-of-range OST")
+		}
+	}()
+	p.OSSOf(480)
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pfsim/internal/stats"
+)
+
+func close2(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestTable3 checks Equation 2 against the paper's Table III
+// (Dtotal=480, R=160).
+func TestTable3(t *testing.T) {
+	want := []struct {
+		jobs   int
+		dinuse float64
+		dload  float64
+	}{
+		{1, 160.00, 1.00}, {2, 266.67, 1.20}, {3, 337.78, 1.42},
+		{4, 385.19, 1.66}, {5, 416.79, 1.92}, {6, 437.86, 2.19},
+		{7, 451.91, 2.48}, {8, 461.27, 2.78}, {9, 467.51, 3.08},
+		{10, 471.68, 3.39},
+	}
+	rows := LoadTable(Lscratchc(), 160, 10)
+	for i, w := range want {
+		r := rows[i]
+		if r.Jobs != w.jobs {
+			t.Fatalf("row %d: jobs = %d, want %d", i, r.Jobs, w.jobs)
+		}
+		if !close2(r.Dinuse, w.dinuse, 0.005) {
+			t.Errorf("n=%d: Dinuse = %.2f, want %.2f", w.jobs, r.Dinuse, w.dinuse)
+		}
+		if !close2(r.Dload, w.dload, 0.0075) {
+			t.Errorf("n=%d: Dload = %.2f, want %.2f", w.jobs, r.Dload, w.dload)
+		}
+		if r.Dreq != 160*w.jobs {
+			t.Errorf("n=%d: Dreq = %d, want %d", w.jobs, r.Dreq, 160*w.jobs)
+		}
+	}
+}
+
+// TestTable4 checks Table IV (Dtotal=480, R=64).
+func TestTable4(t *testing.T) {
+	want := []struct {
+		jobs   int
+		dinuse float64
+		dload  float64
+	}{
+		{1, 64.00, 1.00}, {2, 119.47, 1.07}, {3, 167.54, 1.15},
+		{4, 209.20, 1.22}, {5, 245.31, 1.30}, {6, 276.60, 1.39},
+		{7, 303.72, 1.48}, {8, 327.22, 1.57}, {9, 347.59, 1.66},
+		{10, 365.25, 1.75},
+	}
+	for _, w := range want {
+		if got := Dinuse(480, 64, w.jobs); !close2(got, w.dinuse, 0.005) {
+			t.Errorf("n=%d: Dinuse = %.2f, want %.2f", w.jobs, got, w.dinuse)
+		}
+		if got := Dload(480, 64, w.jobs); !close2(got, w.dload, 0.0075) {
+			t.Errorf("n=%d: Dload = %.2f, want %.2f", w.jobs, got, w.dload)
+		}
+	}
+}
+
+// TestTable6 checks the Stampede prediction (Dtotal=160, R=128), Table VI.
+func TestTable6(t *testing.T) {
+	want := []struct {
+		jobs   int
+		dinuse float64
+		dload  float64
+	}{
+		{1, 128.00, 1.00}, {2, 153.60, 1.67}, {3, 158.72, 2.42},
+		{4, 159.74, 3.21}, {5, 159.95, 4.00}, {6, 159.99, 4.80},
+		{7, 160.00, 5.60}, {8, 160.00, 6.40}, {9, 160.00, 7.20},
+		{10, 160.00, 8.00},
+	}
+	rows := LoadTable(Stampede(), 128, 10)
+	for i, w := range want {
+		if !close2(rows[i].Dinuse, w.dinuse, 0.005) {
+			t.Errorf("n=%d: Dinuse = %.2f, want %.2f", w.jobs, rows[i].Dinuse, w.dinuse)
+		}
+		if !close2(rows[i].Dload, w.dload, 0.005) {
+			t.Errorf("n=%d: Dload = %.2f, want %.2f", w.jobs, rows[i].Dload, w.dload)
+		}
+	}
+}
+
+// TestTable5Predicted checks the "Predicted" Dinuse/Dload columns of
+// Table V (4 jobs, varying R).
+func TestTable5Predicted(t *testing.T) {
+	want := []struct {
+		r      int
+		dinuse float64
+		dload  float64
+	}{
+		{32, 115.76, 1.11}, {64, 209.20, 1.22}, {96, 283.39, 1.36},
+		{128, 341.18, 1.50}, {160, 385.19, 1.66},
+	}
+	for _, w := range want {
+		if got := Dinuse(480, w.r, 4); !close2(got, w.dinuse, 0.01) {
+			t.Errorf("R=%d: Dinuse = %.2f, want %.2f", w.r, got, w.dinuse)
+		}
+		if got := Dload(480, w.r, 4); !close2(got, w.dload, 0.01) {
+			t.Errorf("R=%d: Dload = %.2f, want %.2f", w.r, got, w.dload)
+		}
+	}
+}
+
+// TestPLFSLoads checks Equations 5-6 at the scales quoted in Section VI:
+// load 2.4 at 512 cores, 3 per OST by 688 cores, 8.53 at 2,048 and 17.06 at
+// 4,096.
+func TestPLFSLoads(t *testing.T) {
+	cases := []struct {
+		ranks int
+		load  float64
+		tol   float64
+	}{
+		{512, 2.4, 0.05}, {688, 3.0, 0.05}, {2048, 8.53, 0.01}, {4096, 17.06, 0.015},
+	}
+	for _, c := range cases {
+		if got := PLFSLoad(480, c.ranks); !close2(got, c.load, c.tol) {
+			t.Errorf("PLFSLoad(480, %d) = %.3f, want %.2f", c.ranks, got, c.load)
+		}
+	}
+	// Table VIII: Dinuse around 418-433 at 512 ranks.
+	if got := PLFSDinuse(480, 512); got < 415 || got > 435 {
+		t.Errorf("PLFSDinuse(480,512) = %.1f, want ~427", got)
+	}
+	// Table IX: all 480 OSTs in use at 4,096 ranks.
+	if got := PLFSDinuse(480, 4096); got < 479.9 {
+		t.Errorf("PLFSDinuse(480,4096) = %.2f, want ~480", got)
+	}
+}
+
+// TestRecurrenceMatchesClosedForm: Equation 1 with equal requests must equal
+// Equation 2 (property test).
+func TestRecurrenceMatchesClosedForm(t *testing.T) {
+	f := func(rRaw, nRaw, dRaw uint8) bool {
+		dtotal := int(dRaw)%960 + 16
+		r := int(rRaw)%dtotal + 1
+		n := int(nRaw)%12 + 1
+		reqs := make([]int, n)
+		for i := range reqs {
+			reqs[i] = r
+		}
+		rec := DinuseRecurrence(dtotal, reqs)
+		for i := 1; i <= n; i++ {
+			if !close2(rec[i-1], Dinuse(dtotal, r, i), 1e-6*float64(dtotal)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDinuseBounds: 0 <= Dinuse <= min(Dtotal, Dreq) and monotone in n.
+func TestDinuseBounds(t *testing.T) {
+	f := func(rRaw, dRaw uint8) bool {
+		dtotal := int(dRaw)%960 + 16
+		r := int(rRaw)%dtotal + 1
+		prev := 0.0
+		for n := 1; n <= 20; n++ {
+			d := Dinuse(dtotal, r, n)
+			if d < prev-1e-9 { // monotone non-decreasing
+				return false
+			}
+			if d > float64(dtotal)+1e-9 || d > float64(r*n)+1e-9 {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDloadAtLeastOne: average load of in-use OSTs is at least 1 and grows
+// with n.
+func TestDloadAtLeastOne(t *testing.T) {
+	f := func(rRaw, dRaw uint8) bool {
+		dtotal := int(dRaw)%960 + 16
+		r := int(rRaw)%dtotal + 1
+		prev := 0.0
+		for n := 1; n <= 16; n++ {
+			l := Dload(dtotal, r, n)
+			if l < 1-1e-9 || l < prev-1e-9 {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpectedUsageMatchesTable5 compares the analytic occupancy
+// distribution with the empirical "OST Usage" columns of Table V (means of
+// five real experiments, so tolerances are loose).
+func TestExpectedUsageMatchesTable5(t *testing.T) {
+	cases := []struct {
+		r     int
+		usage [4]float64 // OSTs shared by exactly 1,2,3,4 jobs
+	}{
+		{32, [4]float64{103.2, 11.2, 0.8, 0.0}},
+		{64, [4]float64{172.6, 35.8, 3.4, 0.4}},
+		{96, [4]float64{199.4, 76.4, 9.8, 0.6}},
+		{128, [4]float64{211.6, 111.4, 22.4, 2.6}},
+		{160, [4]float64{191.8, 147.0, 41.8, 7.2}},
+	}
+	for _, c := range cases {
+		dist := ExpectedUsageDistribution(480, c.r, 4)
+		for m := 1; m <= 4; m++ {
+			got := dist[m]
+			want := c.usage[m-1]
+			tol := 0.12*want + 4 // empirical columns carry sampling noise
+			if math.Abs(got-want) > tol {
+				t.Errorf("R=%d m=%d: expected usage %.1f, paper %.1f (tol %.1f)", c.r, m, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestUsageDistributionSums: the occupancy PMF must sum to Dtotal, and the
+// in-use portion must equal Dinuse.
+func TestUsageDistributionSums(t *testing.T) {
+	f := func(rRaw, nRaw, dRaw uint8) bool {
+		dtotal := int(dRaw)%960 + 16
+		r := int(rRaw)%dtotal + 1
+		n := int(nRaw)%10 + 1
+		dist := ExpectedUsageDistribution(dtotal, r, n)
+		sum, inUse, stripes := 0.0, 0.0, 0.0
+		for m, v := range dist {
+			sum += v
+			if m > 0 {
+				inUse += v
+			}
+			stripes += float64(m) * v
+		}
+		return close2(sum, float64(dtotal), 1e-6*float64(dtotal)) &&
+			close2(inUse, Dinuse(dtotal, r, n), 1e-5*float64(dtotal)) &&
+			close2(stripes, float64(r*n), 1e-5*float64(r*n)+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentProperties(t *testing.T) {
+	rng := stats.NewRNG(42)
+	a := Assign(rng, 480, 160, 4)
+	if len(a.JobOSTs) != 4 {
+		t.Fatalf("jobs = %d", len(a.JobOSTs))
+	}
+	for j, osts := range a.JobOSTs {
+		if len(osts) != 160 {
+			t.Fatalf("job %d has %d OSTs", j, len(osts))
+		}
+		seen := map[int]bool{}
+		for _, o := range osts {
+			if seen[o] {
+				t.Fatalf("job %d repeats OST %d", j, o)
+			}
+			seen[o] = true
+		}
+	}
+	inUse := a.InUse()
+	if inUse < 160 || inUse > 480 {
+		t.Errorf("InUse = %d out of range", inUse)
+	}
+	if got := a.Load(); !close2(got, 640.0/float64(inUse), 1e-9) {
+		t.Errorf("Load = %v inconsistent with InUse", got)
+	}
+	// Histogram totals must agree with InUse and stripe count.
+	h := a.UsageHistogram()
+	if h.Total() != inUse {
+		t.Errorf("usage histogram total %d != inUse %d", h.Total(), inUse)
+	}
+	stripes := 0
+	for m, c := range h.Counts() {
+		stripes += m * c
+	}
+	if stripes != 640 {
+		t.Errorf("histogram stripes = %d, want 640", stripes)
+	}
+	ch := a.CollisionHistogram()
+	if ch.Total() != inUse {
+		t.Errorf("collision histogram total %d != inUse %d", ch.Total(), inUse)
+	}
+}
+
+// TestMonteCarloMatchesAnalytic: the MC estimate of Dinuse/Dload and the
+// per-sharers distribution should converge to the closed forms.
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	rng := stats.NewRNG(7)
+	inUse, load, bySharers := MonteCarloUsage(rng, 480, 160, 4, 400)
+	if !close2(inUse, Dinuse(480, 160, 4), 2.5) {
+		t.Errorf("MC Dinuse = %.2f, analytic %.2f", inUse, Dinuse(480, 160, 4))
+	}
+	if !close2(load, Dload(480, 160, 4), 0.02) {
+		t.Errorf("MC Dload = %.3f, analytic %.3f", load, Dload(480, 160, 4))
+	}
+	dist := ExpectedUsageDistribution(480, 160, 4)
+	for m := 0; m <= 4; m++ {
+		if !close2(bySharers[m], dist[m], 0.05*dist[m]+2.5) {
+			t.Errorf("MC sharers[%d] = %.2f, analytic %.2f", m, bySharers[m], dist[m])
+		}
+	}
+}
+
+// TestPLFSCollisionTable8 reproduces Table VIII's shape: 512-rank PLFS run,
+// collision histogram close to the paper's five experiments.
+func TestPLFSCollisionTable8(t *testing.T) {
+	// Paper's five experiments, rows = collisions 0..8 (OSTs with c+1 stripes).
+	paperMeans := []float64{124.6, 131.2, 89.2, 51.8, 22.4, 6.4, 1.2, 0.2, 0.2}
+	var sums [9]float64
+	const trials = 50
+	rng := stats.NewRNG(99)
+	for tr := 0; tr < trials; tr++ {
+		a := PLFSAssignment(rng.Fork(uint64(tr)), 480, 512)
+		h := a.CollisionHistogram()
+		for c := 0; c < 9; c++ {
+			sums[c] += float64(h.Count(c))
+		}
+	}
+	for c, want := range paperMeans {
+		got := sums[c] / trials
+		tol := 0.15*want + 3
+		if math.Abs(got-want) > tol {
+			t.Errorf("collisions=%d: mean count %.1f, paper %.1f", c, got, want)
+		}
+	}
+	// Load check: paper reports 2.36-2.45 across experiments.
+	a := PLFSAssignment(stats.NewRNG(123), 480, 512)
+	if l := a.Load(); l < 2.2 || l > 2.6 {
+		t.Errorf("realised PLFS load = %.2f, want ~2.4", l)
+	}
+}
+
+// TestPLFSCollisionTable9 reproduces Table IX: at 4,096 ranks every OST is
+// in use, the load is exactly 17.07 (8192/480), and the histogram spans
+// roughly collisions 5..30+ with its mode in the teens.
+func TestPLFSCollisionTable9(t *testing.T) {
+	a := PLFSAssignment(stats.NewRNG(5), 480, 4096)
+	if got := a.InUse(); got != 480 {
+		t.Fatalf("InUse = %d, want 480", got)
+	}
+	if l := a.Load(); !close2(l, 8192.0/480.0, 1e-9) {
+		t.Errorf("Load = %v, want 17.07", l)
+	}
+	h := a.CollisionHistogram()
+	if h.Count(0) > 2 || h.Count(1) > 2 {
+		t.Errorf("unexpectedly many lightly-loaded OSTs: %v %v", h.Count(0), h.Count(1))
+	}
+	mode, best := -1, 0
+	for c, n := range h.Counts() {
+		if n > best {
+			best, mode = n, c
+		}
+	}
+	if mode < 12 || mode > 20 {
+		t.Errorf("histogram mode at %d collisions, want mid-teens", mode)
+	}
+}
+
+func TestAssignUneven(t *testing.T) {
+	rng := stats.NewRNG(8)
+	a := AssignUneven(rng, 480, []int{160, 64, 32})
+	if len(a.JobOSTs[0]) != 160 || len(a.JobOSTs[1]) != 64 || len(a.JobOSTs[2]) != 32 {
+		t.Errorf("uneven assignment sizes wrong: %d %d %d",
+			len(a.JobOSTs[0]), len(a.JobOSTs[1]), len(a.JobOSTs[2]))
+	}
+	rec := DinuseRecurrence(480, []int{160, 64, 32})
+	if rec[0] != 160 {
+		t.Errorf("recurrence first = %v, want 160", rec[0])
+	}
+	// Expected in-use after all three: 480*(1-(1-1/3)(1-64/480)(1-32/480)) complement product.
+	want := 480 * (1 - (1-160.0/480)*(1-64.0/480)*(1-32.0/480))
+	if !close2(rec[2], want, 1e-9) {
+		t.Errorf("recurrence final = %v, want %v", rec[2], want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	fs := Lscratchc()
+	if err := fs.Validate(160); err != nil {
+		t.Errorf("Validate(160) = %v", err)
+	}
+	if err := fs.Validate(161); err == nil {
+		t.Errorf("Validate(161) should fail (stripe limit)")
+	}
+	if err := fs.Validate(0); err == nil {
+		t.Errorf("Validate(0) should fail")
+	}
+	bad := FileSystem{Name: "empty"}
+	if err := bad.Validate(1); err == nil {
+		t.Errorf("empty fs should fail validation")
+	}
+	nolimit := FileSystem{Name: "big", TotalOSTs: 100}
+	if err := nolimit.Validate(100); err != nil {
+		t.Errorf("no-limit fs Validate(100) = %v", err)
+	}
+	if err := nolimit.Validate(101); err == nil {
+		t.Errorf("overrequest should fail")
+	}
+}
+
+func TestZeroJobEdgeCases(t *testing.T) {
+	if got := Dload(480, 160, 0); got != 0 {
+		t.Errorf("Dload(n=0) = %v", got)
+	}
+	if got := PLFSLoad(480, 0); got != 0 {
+		t.Errorf("PLFSLoad(0) = %v", got)
+	}
+	if got := Dinuse(480, 160, 0); got != 0 {
+		t.Errorf("Dinuse(n=0) = %v", got)
+	}
+	inUse, load, dist := MonteCarloUsage(stats.NewRNG(1), 480, 160, 4, 0)
+	if inUse != 0 || load != 0 || dist != nil {
+		t.Errorf("MC with 0 trials should be zero-valued")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestServiceCurves(t *testing.T) {
+	lin := LinearThrashCurve(200, 0.1)
+	if lin(1) != 200 {
+		t.Errorf("linear k=1: %v", lin(1))
+	}
+	if got := lin(3); !close2(got, 200/1.2, 1e-9) {
+		t.Errorf("linear k=3: %v", got)
+	}
+	onset := OnsetThrashCurve(288, 0.008, 6, 2.5)
+	if onset(6) != 288 || onset(3) != 288 {
+		t.Errorf("onset curve should be flat below onset")
+	}
+	if got := onset(30); got > 20 || got < 5 {
+		t.Errorf("onset k=30: %v, want collapse", got)
+	}
+	// Monotone non-increasing.
+	prev := onset(1)
+	for k := 2; k <= 40; k++ {
+		if cur := onset(k); cur > prev+1e-9 {
+			t.Errorf("curve increased at k=%d", k)
+		} else {
+			prev = cur
+		}
+	}
+}
+
+func TestPredictBandwidthSingleJob(t *testing.T) {
+	curve := LinearThrashCurve(210, 0.1)
+	// Alone (n=1): both bounds equal r*base, capped by the job limit.
+	b := PredictBandwidth(480, 160, 1, curve, 16000)
+	if !close2(b.UpperMBs, 16000, 1e-9) || !close2(b.LowerMBs, 16000, 1e-9) {
+		t.Errorf("solo bounds = %+v, want cap 16000", b)
+	}
+	uncapped := PredictBandwidth(480, 160, 1, curve, 0)
+	if !close2(uncapped.UpperMBs, 160*210, 1e-6) {
+		t.Errorf("solo uncapped upper = %v", uncapped.UpperMBs)
+	}
+}
+
+func TestPredictBandwidthContention(t *testing.T) {
+	curve := LinearThrashCurve(210, 0.1)
+	// Four contending 160-stripe jobs: bounds must bracket the paper's
+	// ~4,541 MB/s per job... after the shared backbone cap, which the
+	// analytic model doesn't know about. Check ordering and sanity
+	// instead, then that the paper value respects the upper bound.
+	b := PredictBandwidth(480, 160, 4, curve, 15609)
+	if b.LowerMBs > b.UpperMBs {
+		t.Errorf("bounds inverted: %+v", b)
+	}
+	if b.LowerMBs <= 0 {
+		t.Errorf("lower bound not positive: %+v", b)
+	}
+	if b.UpperMBs < 4541 {
+		t.Errorf("upper bound %v below the paper's measured 4541", b.UpperMBs)
+	}
+	// Lower (convoy) bound should sit below the measured value.
+	if b.LowerMBs > 4541*1.6 {
+		t.Errorf("lower bound %v implausibly high", b.LowerMBs)
+	}
+}
+
+func TestPredictBandwidthMonotoneInJobs(t *testing.T) {
+	curve := LinearThrashCurve(210, 0.1)
+	prevU, prevL := 1e18, 1e18
+	for n := 1; n <= 8; n++ {
+		b := PredictBandwidth(480, 160, n, curve, 0)
+		if b.UpperMBs > prevU+1e-6 || b.LowerMBs > prevL+1e-6 {
+			t.Errorf("n=%d: bounds rose with more contention: %+v", n, b)
+		}
+		prevU, prevL = b.UpperMBs, b.LowerMBs
+	}
+}
+
+func TestPredictBandwidthDegenerate(t *testing.T) {
+	curve := LinearThrashCurve(210, 0.1)
+	if b := PredictBandwidth(480, 0, 4, curve, 0); b.UpperMBs != 0 {
+		t.Errorf("r=0 bounds = %+v", b)
+	}
+	if b := PredictBandwidth(480, 160, 0, curve, 0); b.UpperMBs != 0 {
+		t.Errorf("n=0 bounds = %+v", b)
+	}
+}
+
+func TestPredictPLFSBandwidth(t *testing.T) {
+	curve := OnsetThrashCurve(288, 0.008, 6, 2.5)
+	// 512 ranks: load ~2.4, well below onset — rank-capped on both sides.
+	b512 := PredictPLFSBandwidth(480, 512, curve, 47)
+	if !close2(b512.UpperMBs, 512*47, 1) {
+		t.Errorf("512 upper = %v, want rank-capped %v", b512.UpperMBs, 512*47)
+	}
+	// 4,096 ranks: tail-bound collapse. The paper measures ~3,069; the
+	// lower bound should land the same decade, far below rank-capped.
+	b4096 := PredictPLFSBandwidth(480, 4096, curve, 47)
+	if b4096.LowerMBs > 8000 || b4096.LowerMBs < 500 {
+		t.Errorf("4096 lower = %v, want collapse ~1-8 GB/s", b4096.LowerMBs)
+	}
+	if b4096.UpperMBs <= b4096.LowerMBs {
+		t.Errorf("bounds inverted: %+v", b4096)
+	}
+	if z := PredictPLFSBandwidth(480, 0, curve, 47); z.UpperMBs != 0 {
+		t.Errorf("0 ranks = %+v", z)
+	}
+}
+
+func TestExpectedMaxSharersAmong(t *testing.T) {
+	// With 4 jobs of 160/480 stripes, Table V shows ~7 OSTs shared by all
+	// four jobs, so a job's worst OST is essentially always 4-shared.
+	if got := expectedMaxSharersAmong(480, 160, 4); got != 4 {
+		t.Errorf("max sharers (R=160) = %d, want 4", got)
+	}
+	// With R=32 the quadruple overlap vanishes (Table V: 0.0 measured);
+	// the typical worst case is 2-3 sharers.
+	got := expectedMaxSharersAmong(480, 32, 4)
+	if got < 2 || got > 3 {
+		t.Errorf("max sharers (R=32) = %d, want 2-3", got)
+	}
+	if got := expectedMaxSharersAmong(480, 160, 1); got != 1 {
+		t.Errorf("solo max sharers = %d", got)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import "math"
+
+// QoS bundles the availability-oriented metrics discussed in Section V of
+// the paper: shrinking each job's stripe request frees OSTs for other users
+// of a shared file system at little cost in bandwidth.
+type QoS struct {
+	// FreeOSTs is the expected number of OSTs not used by any of the n jobs.
+	FreeOSTs float64
+	// FreeFraction is FreeOSTs / Dtotal.
+	FreeFraction float64
+	// Load is the average load of in-use OSTs (Equation 4).
+	Load float64
+	// CollisionProb is the probability that a given in-use OST is shared by
+	// at least two jobs.
+	CollisionProb float64
+	// ExpectedMaxSharers estimates the highest number of jobs sharing any
+	// single OST — the straggler that bounds collective write performance.
+	ExpectedMaxSharers float64
+}
+
+// Availability computes QoS metrics for n jobs each requesting r OSTs from
+// fs.
+func Availability(fs FileSystem, r, n int) QoS {
+	dt := float64(fs.TotalOSTs)
+	inUse := Dinuse(fs.TotalOSTs, r, n)
+	free := dt - inUse
+	dist := ExpectedUsageDistribution(fs.TotalOSTs, r, n)
+	shared := 0.0
+	for m := 2; m < len(dist); m++ {
+		shared += dist[m]
+	}
+	collisionProb := 0.0
+	if inUse > 0 {
+		collisionProb = shared / inUse
+	}
+	return QoS{
+		FreeOSTs:           free,
+		FreeFraction:       free / dt,
+		Load:               Dload(fs.TotalOSTs, r, n),
+		CollisionProb:      collisionProb,
+		ExpectedMaxSharers: expectedMaxSharers(fs.TotalOSTs, r, n),
+	}
+}
+
+// expectedMaxSharers approximates E[max over OSTs of sharers]: the smallest
+// m such that the expected number of OSTs with >= m sharers drops below 1/2,
+// interpolated linearly between integer m for a smooth metric.
+func expectedMaxSharers(dtotal, r, n int) float64 {
+	dist := ExpectedUsageDistribution(dtotal, r, n)
+	// tail[m] = expected #OSTs with >= m sharers
+	prevTail := 0.0
+	for m := n; m >= 1; m-- {
+		tail := prevTail + dist[m]
+		if tail >= 0.5 {
+			// Between m (tail >= 0.5) and m+1 (prevTail < 0.5).
+			if prevTail <= 0 {
+				return float64(m)
+			}
+			// Log interpolation on the tail mass.
+			f := (math.Log(tail) - math.Log(0.5)) / (math.Log(tail) - math.Log(prevTail))
+			if f < 0 {
+				f = 0
+			} else if f > 1 {
+				f = 1
+			}
+			return float64(m) + f
+		}
+		prevTail = tail
+	}
+	return 0
+}
+
+// TradeoffPoint captures one row of the bandwidth/availability trade-off
+// (Table V and Figure 4): a per-job request size with its QoS metrics and,
+// when measured, the achieved bandwidth.
+type TradeoffPoint struct {
+	Request   int
+	QoS       QoS
+	Bandwidth float64 // MB/s per job; 0 when not measured
+}
+
+// RecommendRequest returns the smallest per-job stripe request r (from
+// candidates) whose predicted load stays at or below maxLoad with n
+// concurrent jobs, the paper's prescription for preserving quality of
+// service. It returns 0 if no candidate qualifies.
+func RecommendRequest(fs FileSystem, n int, maxLoad float64, candidates []int) int {
+	for _, r := range candidates {
+		if fs.Validate(r) != nil {
+			continue
+		}
+		if Dload(fs.TotalOSTs, r, n) <= maxLoad {
+			return r
+		}
+	}
+	return 0
+}
+
+// MinOSTsForLoad answers the purchasing question posed in the paper's
+// conclusion: how many OSTs must a file system expose so that n jobs each
+// striping over r targets experience average load at most maxLoad? It
+// returns the smallest such Dtotal found by bisection, or -1 if maxLoad < 1
+// (unachievable: load is at least 1 by definition).
+func MinOSTsForLoad(r, n int, maxLoad float64) int {
+	if maxLoad < 1 {
+		return -1
+	}
+	lo, hi := r, r*n*64
+	if Dload(hi, r, n) > maxLoad {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Dload(mid, r, n) <= maxLoad {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// PLFSBreakEvenRanks estimates the rank count at which an n-rank PLFS
+// application drives the average OST load beyond maxLoad on a system with
+// dtotal OSTs — e.g. the paper notes 3 tasks per OST (reached at 688 ranks
+// on lscratchc) still provides "good" performance, while loads of 8.5+
+// saturate the system. Returns the smallest rank count whose load exceeds
+// maxLoad.
+func PLFSBreakEvenRanks(dtotal int, maxLoad float64) int {
+	lo, hi := 1, dtotal*1024
+	if PLFSLoad(dtotal, hi) <= maxLoad {
+		return hi
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if PLFSLoad(dtotal, mid) > maxLoad {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAvailabilityBasics(t *testing.T) {
+	fs := Lscratchc()
+	q1 := Availability(fs, 160, 1)
+	if !close2(q1.FreeOSTs, 320, 1e-9) {
+		t.Errorf("one job: free = %v, want 320", q1.FreeOSTs)
+	}
+	if !close2(q1.Load, 1, 1e-9) {
+		t.Errorf("one job: load = %v, want 1", q1.Load)
+	}
+	if q1.CollisionProb != 0 {
+		t.Errorf("one job: collision prob = %v, want 0", q1.CollisionProb)
+	}
+
+	q4 := Availability(fs, 160, 4)
+	if q4.FreeOSTs >= q1.FreeOSTs {
+		t.Errorf("more jobs should leave fewer free OSTs: %v >= %v", q4.FreeOSTs, q1.FreeOSTs)
+	}
+	if q4.CollisionProb <= 0 || q4.CollisionProb >= 1 {
+		t.Errorf("collision prob = %v, want in (0,1)", q4.CollisionProb)
+	}
+	// Paper: with R=160 and 4 jobs, 7 OSTs are expected to be shared by all
+	// four jobs, so the expected max sharers should be 4.
+	if q4.ExpectedMaxSharers < 3.5 {
+		t.Errorf("ExpectedMaxSharers = %v, want ~4", q4.ExpectedMaxSharers)
+	}
+}
+
+func TestAvailabilityShrinkingRequests(t *testing.T) {
+	// Section V: reducing R improves every availability metric.
+	fs := Lscratchc()
+	prev := Availability(fs, 160, 4)
+	for _, r := range []int{128, 96, 64, 32} {
+		cur := Availability(fs, r, 4)
+		if cur.FreeOSTs <= prev.FreeOSTs {
+			t.Errorf("R=%d: free OSTs %v not better than %v", r, cur.FreeOSTs, prev.FreeOSTs)
+		}
+		if cur.Load >= prev.Load {
+			t.Errorf("R=%d: load %v not better than %v", r, cur.Load, prev.Load)
+		}
+		if cur.CollisionProb >= prev.CollisionProb {
+			t.Errorf("R=%d: collision prob %v not better than %v", r, cur.CollisionProb, prev.CollisionProb)
+		}
+		prev = cur
+	}
+}
+
+func TestRecommendRequest(t *testing.T) {
+	fs := Lscratchc()
+	// Paper: 32 stripes with 4 jobs gives load ~1.11; 160 gives 1.66.
+	got := RecommendRequest(fs, 4, 1.2, []int{32, 64, 96, 128, 160})
+	if got != 32 {
+		t.Errorf("RecommendRequest(load<=1.2) = %d, want 32", got)
+	}
+	got = RecommendRequest(fs, 4, 1.7, []int{160, 128})
+	if got != 160 {
+		t.Errorf("RecommendRequest(load<=1.7) = %d, want 160", got)
+	}
+	if got := RecommendRequest(fs, 10, 1.0, []int{32, 64}); got != 0 {
+		t.Errorf("impossible QoS should return 0, got %d", got)
+	}
+	// Invalid candidates are skipped.
+	if got := RecommendRequest(fs, 1, 2.0, []int{0, 9999, 64}); got != 64 {
+		t.Errorf("invalid candidates not skipped: got %d", got)
+	}
+}
+
+func TestMinOSTsForLoad(t *testing.T) {
+	// With maxLoad exactly the lscratchc load, the answer should be ~480.
+	load := Dload(480, 160, 4)
+	got := MinOSTsForLoad(160, 4, load)
+	if got < 478 || got > 482 {
+		t.Errorf("MinOSTsForLoad = %d, want ~480", got)
+	}
+	if l := Dload(got, 160, 4); l > load+1e-9 {
+		t.Errorf("returned size violates load bound: %v > %v", l, load)
+	}
+	if got > 160 {
+		if l := Dload(got-1, 160, 4); l <= load {
+			t.Errorf("result not minimal: %d-1 also satisfies (load %v)", got, l)
+		}
+	}
+	if MinOSTsForLoad(160, 4, 0.5) != -1 {
+		t.Errorf("load < 1 must be unachievable")
+	}
+}
+
+func TestPLFSBreakEvenRanks(t *testing.T) {
+	// Paper: by 688 cores there are 3 tasks per OST on lscratchc.
+	got := PLFSBreakEvenRanks(480, 3.0)
+	if got < 660 || got > 720 {
+		t.Errorf("PLFSBreakEvenRanks(480, 3) = %d, want ~688", got)
+	}
+	if l := PLFSLoad(480, got); l <= 3.0 {
+		t.Errorf("load at break-even = %v, should exceed 3", l)
+	}
+	if l := PLFSLoad(480, got-1); l > 3.0 {
+		t.Errorf("load just below break-even = %v, should be <= 3", l)
+	}
+}
+
+func TestExpectedMaxSharersMonotone(t *testing.T) {
+	fs := Lscratchc()
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		q := Availability(fs, 160, n)
+		if q.ExpectedMaxSharers < prev-1e-9 {
+			t.Errorf("n=%d: max sharers %v decreased from %v", n, q.ExpectedMaxSharers, prev)
+		}
+		if q.ExpectedMaxSharers > float64(n) {
+			t.Errorf("n=%d: max sharers %v exceeds job count", n, q.ExpectedMaxSharers)
+		}
+		prev = q.ExpectedMaxSharers
+	}
+}
+
+func TestTradeoffPointZeroValue(t *testing.T) {
+	var p TradeoffPoint
+	if p.Bandwidth != 0 || p.Request != 0 {
+		t.Errorf("zero TradeoffPoint not zero")
+	}
+	if !math.IsNaN(p.QoS.Load) && p.QoS.Load != 0 {
+		t.Errorf("zero QoS load = %v", p.QoS.Load)
+	}
+}

@@ -1,0 +1,273 @@
+// Package experiments regenerates every table and figure of the
+// reproduced paper on the simulated platform. Each experiment returns an
+// Outcome holding the rendered table, paper-vs-measured comparisons and
+// notes; the cmd tools, the root benchmark harness and EXPERIMENTS.md all
+// share these implementations.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/core"
+	"pfsim/internal/ior"
+	"pfsim/internal/refdata"
+	"pfsim/internal/report"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Plat is the simulated platform (nil selects cluster.Cab()).
+	Plat *cluster.Platform
+	// Quick trades repetitions and written volume for speed; shapes are
+	// preserved. Benchmarks use Quick, cmd/experiments the full setting.
+	Quick bool
+}
+
+func (o Options) platform() *cluster.Platform {
+	if o.Plat != nil {
+		return o.Plat
+	}
+	return cluster.Cab()
+}
+
+func (o Options) reps(full int) int {
+	if o.Quick && full > 2 {
+		return 2
+	}
+	return full
+}
+
+func (o Options) segments(full int) int {
+	if o.Quick {
+		return full / 4
+	}
+	return full
+}
+
+// Comparison pairs a paper value with the simulator's measurement.
+type Comparison struct {
+	Metric   string
+	Paper    float64
+	Measured float64
+}
+
+// Ratio returns measured/paper (0 when the paper value is 0).
+func (c Comparison) Ratio() float64 {
+	if c.Paper == 0 {
+		return 0
+	}
+	return c.Measured / c.Paper
+}
+
+// Outcome is the result of one experiment.
+type Outcome struct {
+	// ID is the paper artefact ("figure1", "table5", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Tables hold the regenerated content.
+	Tables []*report.Table
+	// Comparisons summarise paper-vs-measured for the headline values.
+	Comparisons []Comparison
+	// Notes document deviations and modelling caveats.
+	Notes []string
+}
+
+// ComparisonTable renders the outcome's comparisons.
+func (o *Outcome) ComparisonTable() *report.Table {
+	t := report.NewTable("Paper vs measured", "Metric", "Paper", "Measured", "Ratio")
+	for _, c := range o.Comparisons {
+		t.AddRow(c.Metric, c.Paper, c.Measured, fmt.Sprintf("%.2f", c.Ratio()))
+	}
+	return t
+}
+
+// Runner regenerates one paper artefact.
+type Runner func(Options) (*Outcome, error)
+
+// registryEntry orders the catalogue as the artefacts appear in the paper.
+type registryEntry struct {
+	id string
+	fn Runner
+}
+
+var registry = []registryEntry{
+	{"figure1", Figure1},
+	{"table3", Table3},
+	{"table4", Table4},
+	{"figure2", Figure2},
+	{"figure3", Figure3},
+	{"table5", Table5},
+	{"table6", Table6},
+	{"figure5", Figure5},
+	{"table7", Table7},
+	{"table8", Table8},
+	{"table9", Table9},
+}
+
+// extras are ablations and extensions beyond the paper's artefacts.
+var extras = []registryEntry{
+	{"ablation-aggcap", AblationAggregatorCap},
+	{"ablation-thrash", AblationThrash},
+	{"extension-ga", ExtensionGATuner},
+	{"extension-readback", ExtensionReadback},
+	{"extension-widestriping", ExtensionWideStriping},
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// ExtraIDs lists the ablation/extension identifiers.
+func ExtraIDs() []string {
+	out := make([]string, len(extras))
+	for i, e := range extras {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Lookup returns the runner for an artefact or extra id.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.fn, true
+		}
+	}
+	for _, e := range extras {
+		if e.id == id {
+			return e.fn, true
+		}
+	}
+	return nil, false
+}
+
+// loadTable renders an analytic load table against its paper counterpart.
+func loadTable(title string, fs core.FileSystem, r int, paper []refdata.LoadRow) (*report.Table, []Comparison) {
+	t := report.NewTable(title, "Jobs", "Dinuse", "Dreq", "Dload", "paper Dinuse", "paper Dload")
+	rows := core.LoadTable(fs, r, len(paper))
+	var comps []Comparison
+	for i, row := range rows {
+		p := paper[i]
+		t.AddRow(row.Jobs, row.Dinuse, row.Dreq, row.Dload, p.Dinuse, p.Dload)
+		if row.Jobs == len(paper) {
+			comps = append(comps,
+				Comparison{fmt.Sprintf("Dinuse at n=%d", row.Jobs), p.Dinuse, row.Dinuse},
+				Comparison{fmt.Sprintf("Dload at n=%d", row.Jobs), p.Dload, row.Dload})
+		}
+	}
+	return t, comps
+}
+
+// Table3 regenerates Table III: OST usage and load on lscratchc with each
+// job requesting 160 stripes (Equations 2-4).
+func Table3(opt Options) (*Outcome, error) {
+	fs := coreFS(opt.platform())
+	t, comps := loadTable("Table III: Dtotal=480, R=160", fs, 160, refdata.TableIII)
+	return &Outcome{
+		ID:          "table3",
+		Title:       "OST load for n jobs × 160 stripes (lscratchc)",
+		Tables:      []*report.Table{t},
+		Comparisons: comps,
+	}, nil
+}
+
+// Table4 regenerates Table IV (R = 64).
+func Table4(opt Options) (*Outcome, error) {
+	fs := coreFS(opt.platform())
+	t, comps := loadTable("Table IV: Dtotal=480, R=64", fs, 64, refdata.TableIV)
+	return &Outcome{
+		ID:          "table4",
+		Title:       "OST load for n jobs × 64 stripes (lscratchc)",
+		Tables:      []*report.Table{t},
+		Comparisons: comps,
+	}, nil
+}
+
+// Table6 regenerates Table VI: the Stampede prediction (Dtotal=160,
+// R=128).
+func Table6(Options) (*Outcome, error) {
+	fs := core.Stampede()
+	t, comps := loadTable("Table VI: Stampede, Dtotal=160, R=128", fs, 128, refdata.TableVI)
+	o := &Outcome{
+		ID:          "table6",
+		Title:       "Predicted OST load on Stampede (Behzad et al. tuning)",
+		Tables:      []*report.Table{t},
+		Comparisons: comps,
+	}
+	o.Notes = append(o.Notes,
+		"With only 3 simultaneous tuned tasks, Stampede's OSTs serve 2-3 jobs each on average.")
+	return o, nil
+}
+
+func coreFS(plat *cluster.Platform) core.FileSystem {
+	return core.FileSystem{
+		Name:           plat.Name,
+		TotalOSTs:      plat.OSTs,
+		MaxStripeCount: plat.MaxStripeCount,
+	}
+}
+
+// meanOf averages a float slice (0 for empty).
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// usageFromLayouts counts, for one repetition, how many OSTs are used by
+// exactly m of the jobs (m = 1..n) plus the realised in-use count and
+// load.
+func usageFromLayouts(dtotal int, layouts [][]int) (counts []int, inUse int, load float64) {
+	n := len(layouts)
+	sharers := make([]int, dtotal)
+	stripes := 0
+	for _, l := range layouts {
+		for _, o := range l {
+			sharers[o]++
+			stripes++
+		}
+	}
+	counts = make([]int, n+1)
+	for _, s := range sharers {
+		if s > 0 {
+			if s > n {
+				s = n
+			}
+			counts[s]++
+			inUse++
+		}
+	}
+	if inUse > 0 {
+		load = float64(stripes) / float64(inUse)
+	}
+	return counts, inUse, load
+}
+
+// within reports |a-b| <= frac*|b|.
+func within(a, b, frac float64) bool {
+	return math.Abs(a-b) <= frac*math.Abs(b)
+}
+
+func runContendedSweep(opt Options, r int, reps int) ([]*ior.Result, error) {
+	plat := opt.platform()
+	base := ior.PaperConfig(1024)
+	base.Label = fmt.Sprintf("contend-r%d", r)
+	base.SegmentCount = opt.segments(100)
+	base.Reps = reps
+	base.Hints.StripingFactor = r
+	base.Hints.StripingUnitMB = 128
+	return ior.RunContended(plat, base, 4)
+}

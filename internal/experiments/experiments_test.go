@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pfsim/internal/cluster"
+)
+
+func quick(t *testing.T) Options {
+	t.Helper()
+	return Options{Plat: cluster.Cab(), Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"figure1", "table3", "table4", "figure2", "figure3",
+		"table5", "table6", "figure5", "table7", "table8", "table9"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("registry[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	for _, id := range append(want, ExtraIDs()...) {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestAnalyticTables(t *testing.T) {
+	for _, id := range []string{"table3", "table4", "table6"} {
+		run, _ := Lookup(id)
+		o, err := run(quick(t))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if o.ID != id {
+			t.Errorf("%s: outcome id = %s", id, o.ID)
+		}
+		if len(o.Tables) == 0 || o.Tables[0].NumRows() != 10 {
+			t.Errorf("%s: expected 10-row table", id)
+		}
+		// Analytic tables must match the paper essentially exactly.
+		for _, c := range o.Comparisons {
+			if !within(c.Measured, c.Paper, 0.01) {
+				t.Errorf("%s: %s = %v, paper %v", id, c.Metric, c.Measured, c.Paper)
+			}
+		}
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	o, err := Figure1(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := comparisonMap(o)
+	if v := byMetric["best stripe count"]; v.Measured != 160 {
+		t.Errorf("best stripe count = %v, want 160", v.Measured)
+	}
+	if v := byMetric["best stripe size MB"]; v.Measured != 128 {
+		t.Errorf("best stripe size = %v, want 128", v.Measured)
+	}
+	if v := byMetric["speed-up over default"]; v.Measured < 35 || v.Measured > 65 {
+		t.Errorf("speed-up = %v, want ≈49", v.Measured)
+	}
+	if v := byMetric["default config MB/s (2×1MB)"]; !within(v.Measured, v.Paper, 0.3) {
+		t.Errorf("default = %v, paper %v", v.Measured, v.Paper)
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	o, err := Figure2(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tables[0].NumRows() != 16 {
+		t.Fatalf("figure2 rows = %d, want 16", o.Tables[0].NumRows())
+	}
+	byMetric := comparisonMap(o)
+	if v := byMetric["single-writer MB/s"]; !within(v.Measured, 288, 0.1) {
+		t.Errorf("single writer = %v, want ≈288", v.Measured)
+	}
+}
+
+func TestFigure3Quick(t *testing.T) {
+	o, err := Figure3(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := comparisonMap(o)
+	v := byMetric["per-task MB/s"]
+	if !within(v.Measured, v.Paper, 0.35) {
+		t.Errorf("per-task = %v, paper %v", v.Measured, v.Paper)
+	}
+	red := byMetric["reduction from solo peak"]
+	if red.Measured < 2.5 || red.Measured > 5 {
+		t.Errorf("reduction factor = %v, paper 3.44", red.Measured)
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	o, err := Table5(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tables[0].NumRows() != 5 {
+		t.Fatalf("table5 rows = %d", o.Tables[0].NumRows())
+	}
+	for _, c := range o.Comparisons {
+		if strings.HasPrefix(c.Metric, "actual Dinuse") && !within(c.Measured, c.Paper, 0.1) {
+			t.Errorf("%s = %v, paper %v", c.Metric, c.Measured, c.Paper)
+		}
+		if strings.HasPrefix(c.Metric, "avg BW") && !within(c.Measured, c.Paper, 0.4) {
+			t.Errorf("%s = %v, paper %v", c.Metric, c.Measured, c.Paper)
+		}
+	}
+}
+
+func TestTable8Quick(t *testing.T) {
+	o, err := Table8(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := comparisonMap(o)
+	if v := byMetric["mean Dload"]; !within(v.Measured, 2.4, 0.06) {
+		t.Errorf("Dload = %v, want ≈2.4", v.Measured)
+	}
+	if v := byMetric["analytic Dload (Eq. 6)"]; !within(v.Measured, 2.4, 0.05) {
+		t.Errorf("analytic Dload = %v", v.Measured)
+	}
+}
+
+func TestTable9Quick(t *testing.T) {
+	o, err := Table9(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := comparisonMap(o)
+	if v := byMetric["mean Dload"]; !within(v.Measured, 17.07, 0.01) {
+		t.Errorf("Dload = %v, want 17.07", v.Measured)
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	o, err := Figure5(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := comparisonMap(o)
+	cross := byMetric["Lustre/PLFS crossover (procs)"]
+	if cross.Measured < 512 || cross.Measured > 2048 {
+		t.Errorf("crossover at %v procs, paper at %v", cross.Measured, cross.Paper)
+	}
+	p4096 := byMetric["PLFS MB/s at 4096"]
+	if !within(p4096.Measured, p4096.Paper, 0.35) {
+		t.Errorf("PLFS@4096 = %v, paper %v", p4096.Measured, p4096.Paper)
+	}
+}
+
+func TestOutcomeComparisonTable(t *testing.T) {
+	o := &Outcome{Comparisons: []Comparison{{"m", 10, 9}}}
+	tab := o.ComparisonTable()
+	if tab.NumRows() != 1 {
+		t.Errorf("comparison table rows = %d", tab.NumRows())
+	}
+	if got := (Comparison{"x", 0, 5}).Ratio(); got != 0 {
+		t.Errorf("zero-paper ratio = %v", got)
+	}
+}
+
+func comparisonMap(o *Outcome) map[string]Comparison {
+	m := map[string]Comparison{}
+	for _, c := range o.Comparisons {
+		m[c.Metric] = c
+	}
+	return m
+}
+
+func TestExtrasQuick(t *testing.T) {
+	// Ablations/extensions are exercised end-to-end by the benchmarks;
+	// here just verify the cheap ones run and produce coherent outcomes.
+	for _, id := range []string{"ablation-aggcap", "extension-readback"} {
+		run, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		o, err := run(quick(t))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if o.ID != id || len(o.Tables) == 0 || len(o.Comparisons) == 0 {
+			t.Errorf("%s: malformed outcome", id)
+		}
+	}
+}
+
+func TestAblationAggCapScaling(t *testing.T) {
+	o, err := AblationAggregatorCap(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := comparisonMap(o)["tuned BW halves when dispatch halves (ratio)"]
+	if !within(c.Measured, 0.5, 0.15) {
+		t.Errorf("dispatch-halving ratio = %v, want ≈0.5 (aggregator-bound)", c.Measured)
+	}
+}
+
+func TestExtensionReadbackGain(t *testing.T) {
+	o, err := ExtensionReadback(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := comparisonMap(o)["PLFS read gain over tuned Lustre read (>1 expected)"]
+	if c.Measured <= 1 {
+		t.Errorf("PLFS read gain = %v, want > 1 (Polte et al.)", c.Measured)
+	}
+}

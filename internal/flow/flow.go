@@ -1,0 +1,458 @@
+// Package flow implements a fluid network model on top of the sim engine,
+// in the style of SimGrid: transfers are flows over a path of links, every
+// link has a (possibly stream-count-dependent) capacity in MB/s, and active
+// flows receive max-min fair rates computed by progressive filling. When
+// the set of flows or a capacity changes, rates are recomputed and the next
+// completion event is rescheduled. Contention between I/O jobs — the
+// subject of the reproduced paper — is exactly the sharing of OST, server
+// and network links between concurrent flows.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"pfsim/internal/sim"
+)
+
+// epsilonMB is the residual byte count (in MB) below which a flow is
+// considered complete.
+const epsilonMB = 1e-9
+
+// CapacityModel yields a link's total capacity in MB/s given the number of
+// concurrent flows crossing it. Implementations model effects such as disk
+// seek thrash, where aggregate throughput degrades as streams are added.
+type CapacityModel interface {
+	Capacity(streams int) float64
+}
+
+// Const is a stream-count-independent capacity in MB/s.
+type Const float64
+
+// Capacity implements CapacityModel.
+func (c Const) Capacity(int) float64 { return float64(c) }
+
+// Thrash models a resource whose aggregate throughput degrades with
+// concurrent streams: Capacity(k) = Base / (1 + Gamma*(k-1)). Gamma = 0 is
+// a constant-capacity link; disks under competing streams have Gamma > 0.
+type Thrash struct {
+	Base  float64 // MB/s with a single stream
+	Gamma float64 // degradation per additional stream
+}
+
+// Capacity implements CapacityModel.
+func (t Thrash) Capacity(streams int) float64 {
+	if streams <= 1 {
+		return t.Base
+	}
+	return t.Base / (1 + t.Gamma*float64(streams-1))
+}
+
+// Link is a shared resource flows traverse.
+type Link struct {
+	name  string
+	model CapacityModel
+
+	active  int     // flows currently crossing the link
+	carried float64 // MB carried so far (telemetry)
+
+	// scratch used during rate computation
+	residual  float64
+	unfixed   int
+	saturated bool
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Active reports the number of flows currently crossing the link.
+func (l *Link) Active() int { return l.active }
+
+// Carried reports the cumulative MB transported over the link.
+func (l *Link) Carried() float64 { return l.carried }
+
+// SetModel replaces the capacity model. Callers must invoke Net.Recompute
+// afterwards for the change to take effect immediately.
+func (l *Link) SetModel(m CapacityModel) { l.model = m }
+
+// Model returns the current capacity model.
+func (l *Link) Model() CapacityModel { return l.model }
+
+// Flow is an in-progress transfer.
+type Flow struct {
+	name      string
+	remaining float64 // MB
+	size      float64 // MB, original
+	path      []*Link
+	maxRate   float64 // MB/s; <= 0 means unlimited
+	rate      float64
+	started   float64
+	finishAt  float64
+	finished  bool
+
+	// Done fires when the transfer completes.
+	Done *sim.Signal
+	// onDone, if set, runs synchronously at completion before Done fires —
+	// used to deregister streams from capacity models so the post-completion
+	// rate recomputation sees the updated state.
+	onDone func()
+}
+
+// Name returns the flow's name.
+func (f *Flow) Name() string { return f.name }
+
+// Rate returns the current allocated rate in MB/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the MB left to transfer.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Size returns the original transfer size in MB.
+func (f *Flow) Size() float64 { return f.size }
+
+// Finished reports completion.
+func (f *Flow) Finished() bool { return f.finished }
+
+// Started returns the virtual time the flow was started.
+func (f *Flow) Started() float64 { return f.started }
+
+// FinishedAt returns the completion time (0 until finished).
+func (f *Flow) FinishedAt() float64 { return f.finishAt }
+
+// Observer receives flow lifecycle callbacks; see Net.Observe. Callbacks
+// run synchronously inside the engine, so implementations must not block.
+type Observer interface {
+	// FlowStarted fires when a flow is admitted (after the initial rate
+	// assignment; zero-sized flows report with their completion).
+	FlowStarted(f *Flow)
+	// FlowFinished fires when a flow drains.
+	FlowFinished(f *Flow)
+}
+
+// Net is a fluid network bound to a sim engine.
+type Net struct {
+	eng        *sim.Engine
+	links      []*Link
+	active     []*Flow
+	lastUpdate float64
+	nextEv     *sim.Event
+	observer   Observer
+}
+
+// Observe installs an observer (nil to remove).
+func (n *Net) Observe(o Observer) { n.observer = o }
+
+// NewNet creates an empty network on eng.
+func NewNet(eng *sim.Engine) *Net {
+	return &Net{eng: eng}
+}
+
+// Engine returns the engine the network is bound to.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// NewLink adds a link with the given capacity model.
+func (n *Net) NewLink(name string, model CapacityModel) *Link {
+	l := &Link{name: name, model: model}
+	n.links = append(n.links, l)
+	return l
+}
+
+// ActiveFlows reports the number of unfinished flows.
+func (n *Net) ActiveFlows() int { return len(n.active) }
+
+// Start launches a transfer of sizeMB over path with an optional per-flow
+// rate cap (maxRate <= 0 means unlimited). Zero-sized flows complete at the
+// current instant. The returned flow's Done signal fires on completion.
+func (n *Net) Start(name string, sizeMB, maxRate float64, path ...*Link) *Flow {
+	return n.StartFunc(name, sizeMB, maxRate, nil, path...)
+}
+
+// StartFunc is Start with a completion callback, invoked synchronously when
+// the flow drains (immediately for zero-sized flows), before Done fires and
+// before rates are recomputed.
+func (n *Net) StartFunc(name string, sizeMB, maxRate float64, onDone func(), path ...*Link) *Flow {
+	if sizeMB < 0 || math.IsNaN(sizeMB) {
+		panic(fmt.Sprintf("flow: bad size %v for %q", sizeMB, name))
+	}
+	f := &Flow{
+		name:      name,
+		remaining: sizeMB,
+		size:      sizeMB,
+		path:      path,
+		maxRate:   maxRate,
+		started:   n.eng.Now(),
+		Done:      n.eng.NewSignal("flow:" + name),
+		onDone:    onDone,
+	}
+	if sizeMB <= epsilonMB {
+		f.finished = true
+		f.finishAt = n.eng.Now()
+		if f.onDone != nil {
+			f.onDone()
+		}
+		if n.observer != nil {
+			n.observer.FlowStarted(f)
+			n.observer.FlowFinished(f)
+		}
+		f.Done.Fire()
+		return f
+	}
+	if len(path) == 0 && maxRate <= 0 {
+		panic(fmt.Sprintf("flow: %q has no path and no rate cap; would complete instantaneously", name))
+	}
+	n.advance()
+	n.active = append(n.active, f)
+	for _, l := range f.path {
+		l.active++
+	}
+	n.Recompute()
+	if n.observer != nil {
+		n.observer.FlowStarted(f)
+	}
+	return f
+}
+
+// advance applies the current rates over the elapsed interval, decrementing
+// each flow's remaining volume and accumulating link telemetry.
+func (n *Net) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastUpdate
+	n.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.active {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, l := range f.path {
+			l.carried += moved
+		}
+	}
+}
+
+// Recompute advances transfer accounting at the old rates, re-runs max-min
+// progressive filling and reschedules the next completion event. Call it
+// after changing a link's capacity model; flow arrival and completion
+// recompute automatically.
+func (n *Net) Recompute() {
+	n.advance()
+	n.assignRates()
+	n.scheduleNext()
+}
+
+// assignRates performs progressive filling:
+//  1. every link's residual capacity is its model capacity for the current
+//     stream count;
+//  2. repeatedly find the tightest constraint — either a link's fair share
+//     (residual / unfixed flows) or a flow's own rate cap — and fix the
+//     affected flows at that rate;
+//  3. continue until every flow's rate is fixed.
+func (n *Net) assignRates() {
+	for _, l := range n.links {
+		l.residual = l.model.Capacity(l.active)
+		l.unfixed = 0
+		l.saturated = false
+	}
+	unfixedCount := 0
+	for _, f := range n.active {
+		if f.finished {
+			continue
+		}
+		f.rate = -1
+		unfixedCount++
+		for _, l := range f.path {
+			l.unfixed++
+		}
+	}
+	for unfixedCount > 0 {
+		minShare := math.Inf(1)
+		for _, l := range n.links {
+			if l.unfixed == 0 {
+				continue
+			}
+			res := l.residual
+			if res < 0 {
+				res = 0
+			}
+			if share := res / float64(l.unfixed); share < minShare {
+				minShare = share
+			}
+		}
+		// Fix rate-capped flows whose cap is at or below the share.
+		cappedFixed := false
+		for _, f := range n.active {
+			if f.finished || f.rate >= 0 || f.maxRate <= 0 || f.maxRate > minShare {
+				continue
+			}
+			n.fix(f, f.maxRate)
+			unfixedCount--
+			cappedFixed = true
+		}
+		if cappedFixed {
+			continue
+		}
+		if math.IsInf(minShare, 1) {
+			// Only path-less capped flows remain; their caps exceeded every
+			// share constraint — fix them at their cap.
+			for _, f := range n.active {
+				if f.finished || f.rate >= 0 {
+					continue
+				}
+				r := f.maxRate
+				if r <= 0 {
+					panic("flow: unconstrained flow in rate assignment")
+				}
+				n.fix(f, r)
+				unfixedCount--
+			}
+			return
+		}
+		// Saturate bottleneck links and fix their flows at the fair share.
+		for _, l := range n.links {
+			if l.unfixed == 0 {
+				continue
+			}
+			res := l.residual
+			if res < 0 {
+				res = 0
+			}
+			if res/float64(l.unfixed) <= minShare*(1+1e-12)+1e-15 {
+				l.saturated = true
+			}
+		}
+		progressed := false
+		for _, f := range n.active {
+			if f.finished || f.rate >= 0 {
+				continue
+			}
+			onBottleneck := false
+			for _, l := range f.path {
+				if l.saturated {
+					onBottleneck = true
+					break
+				}
+			}
+			if onBottleneck {
+				n.fix(f, minShare)
+				unfixedCount--
+				progressed = true
+			}
+		}
+		for _, l := range n.links {
+			l.saturated = false
+		}
+		if !progressed {
+			panic("flow: progressive filling made no progress")
+		}
+	}
+}
+
+// fix pins a flow's rate and charges it against its path's residuals.
+func (n *Net) fix(f *Flow, rate float64) {
+	f.rate = rate
+	for _, l := range f.path {
+		l.residual -= rate
+		l.unfixed--
+	}
+}
+
+// scheduleNext arranges the next completion event at the earliest time any
+// active flow drains. Stalled flows (rate ~ 0) never complete on their own;
+// if every flow stalls the engine's deadlock detector reports the hang.
+func (n *Net) scheduleNext() {
+	if n.nextEv != nil {
+		n.eng.Cancel(n.nextEv)
+		n.nextEv = nil
+	}
+	minDt := math.Inf(1)
+	for _, f := range n.active {
+		if f.finished || f.rate <= 1e-12 {
+			continue
+		}
+		if dt := f.remaining / f.rate; dt < minDt {
+			minDt = dt
+		}
+	}
+	if math.IsInf(minDt, 1) {
+		return
+	}
+	n.nextEv = n.eng.Schedule(minDt, n.onCompletion)
+}
+
+// onCompletion retires every flow that has drained (batching simultaneous
+// completions), fires their Done signals, and recomputes rates for the
+// survivors.
+func (n *Net) onCompletion() {
+	n.nextEv = nil
+	n.advance()
+	var still []*Flow
+	var done []*Flow
+	for _, f := range n.active {
+		if f.remaining <= epsilonMB*math.Max(1, f.size) {
+			f.remaining = 0
+			f.finished = true
+			f.finishAt = n.eng.Now()
+			for _, l := range f.path {
+				l.active--
+			}
+			done = append(done, f)
+		} else {
+			still = append(still, f)
+		}
+	}
+	n.active = still
+	for _, f := range done {
+		if f.onDone != nil {
+			f.onDone()
+		}
+	}
+	if n.observer != nil {
+		for _, f := range done {
+			n.observer.FlowFinished(f)
+		}
+	}
+	for _, f := range done {
+		f.Done.Fire()
+	}
+	n.Recompute()
+}
+
+// CheckInvariants verifies the current rate allocation: every active flow
+// has a non-negative fixed rate no greater than its cap, and no link
+// carries more than its capacity (within tolerance). It returns nil when
+// consistent; tests call it after topology changes.
+func (n *Net) CheckInvariants() error {
+	loads := make(map[*Link]float64)
+	for _, f := range n.active {
+		if f.finished {
+			continue
+		}
+		if f.rate < 0 {
+			return fmt.Errorf("flow: %q has unassigned rate", f.name)
+		}
+		if f.maxRate > 0 && f.rate > f.maxRate*(1+1e-9) {
+			return fmt.Errorf("flow: %q rate %v exceeds cap %v", f.name, f.rate, f.maxRate)
+		}
+		for _, l := range f.path {
+			loads[l] += f.rate
+		}
+	}
+	for _, l := range n.links {
+		cap := l.model.Capacity(l.active)
+		if load := loads[l]; load > cap*(1+1e-6)+1e-9 {
+			return fmt.Errorf("flow: link %q oversubscribed: %v > %v", l.name, load, cap)
+		}
+	}
+	return nil
+}
+
+// TransferAndWait starts a flow and blocks the calling process until it
+// completes; it returns the flow for inspection.
+func (n *Net) TransferAndWait(p *sim.Proc, name string, sizeMB, maxRate float64, path ...*Link) *Flow {
+	f := n.Start(name, sizeMB, maxRate, path...)
+	p.Wait(f.Done)
+	return f
+}

@@ -1,0 +1,433 @@
+// Package ior reimplements the IOR benchmark over the simulated MPI-IO
+// stack: segmented shared-file or file-per-process workloads, configurable
+// block/transfer sizes and repetition counts, with bandwidth accounted the
+// way IOR reports it (total bytes over the open-to-close span of the
+// slowest rank). Table II of the paper is the PaperConfig preset.
+package ior
+
+import (
+	"fmt"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/core"
+	"pfsim/internal/lustre"
+	"pfsim/internal/mpi"
+	"pfsim/internal/mpiio"
+	"pfsim/internal/sim"
+	"pfsim/internal/stats"
+)
+
+// Config describes one IOR execution.
+type Config struct {
+	// Label names the run in reports.
+	Label string
+	// API selects the MPI-IO driver.
+	API mpiio.Driver
+	// BlockSizeMB is the contiguous block each rank writes per segment.
+	BlockSizeMB float64
+	// TransferSizeMB is the size of each I/O request.
+	TransferSizeMB float64
+	// SegmentCount is the number of segments (blocks per rank).
+	SegmentCount int
+	// NumTasks is the number of MPI ranks.
+	NumTasks int
+	// WriteFile / ReadFile select the phases (Table II: write on, read off).
+	WriteFile bool
+	ReadFile  bool
+	// FilePerProc gives every rank a private file written as a dedicated
+	// sequential stream (the Figure 2 benchmark) instead of a shared file.
+	FilePerProc bool
+	// Collective uses collective buffering for shared files (default
+	// true in the paper); false issues independent writes.
+	Collective bool
+	// Hints are the MPI-IO hints (ad_lustre tuning knobs).
+	Hints mpiio.Hints
+	// Reps is the number of repetitions; each recreates the file and so
+	// redraws its OST layout.
+	Reps int
+	// FirstNode places the job on the cluster (jobs in contended
+	// experiments occupy disjoint node ranges).
+	FirstNode int
+}
+
+// PaperConfig returns the Table II configuration: MPI-IO, write-only,
+// 4 MB blocks, 1 MB transfers, 100 segments, collective I/O.
+func PaperConfig(tasks int) Config {
+	return Config{
+		Label:          fmt.Sprintf("ior-%d", tasks),
+		API:            mpiio.DriverLustre,
+		BlockSizeMB:    4,
+		TransferSizeMB: 1,
+		SegmentCount:   100,
+		NumTasks:       tasks,
+		WriteFile:      true,
+		Collective:     true,
+		Hints:          mpiio.NewHints(),
+		Reps:           5,
+	}
+}
+
+// TunedHints returns the optimal configuration found by the paper's
+// parameter sweep: 160 stripes of 128 MB.
+func TunedHints() mpiio.Hints {
+	h := mpiio.NewHints()
+	h.StripingFactor = 160
+	h.StripingUnitMB = 128
+	return h
+}
+
+// PerRankMB is the volume each rank writes per phase.
+func (c Config) PerRankMB() float64 { return c.BlockSizeMB * float64(c.SegmentCount) }
+
+// TotalMB is the volume the whole job writes per phase.
+func (c Config) TotalMB() float64 { return c.PerRankMB() * float64(c.NumTasks) }
+
+// Validate reports the first problem with the configuration for plat.
+func (c Config) Validate(plat *cluster.Platform) error {
+	switch {
+	case c.NumTasks <= 0:
+		return fmt.Errorf("ior: NumTasks %d must be positive", c.NumTasks)
+	case c.BlockSizeMB <= 0 || c.TransferSizeMB <= 0:
+		return fmt.Errorf("ior: block/transfer sizes must be positive")
+	case c.TransferSizeMB > c.BlockSizeMB:
+		return fmt.Errorf("ior: transfer %v exceeds block %v", c.TransferSizeMB, c.BlockSizeMB)
+	case c.SegmentCount <= 0:
+		return fmt.Errorf("ior: SegmentCount must be positive")
+	case c.Reps <= 0:
+		return fmt.Errorf("ior: Reps must be positive")
+	case !c.WriteFile && !c.ReadFile:
+		return fmt.Errorf("ior: nothing to do (write and read both off)")
+	case c.FirstNode < 0:
+		return fmt.Errorf("ior: FirstNode must be non-negative")
+	}
+	nodes := plat.NodesFor(c.NumTasks)
+	if c.FirstNode+nodes > plat.Nodes {
+		return fmt.Errorf("ior: job needs nodes %d..%d but platform has %d",
+			c.FirstNode, c.FirstNode+nodes-1, plat.Nodes)
+	}
+	return nil
+}
+
+// Result aggregates the repetitions of one IOR execution.
+type Result struct {
+	Config Config
+	// Write and Read hold per-repetition aggregate bandwidths (MB/s).
+	Write *stats.Sample
+	Read  *stats.Sample
+	// LayoutOSTs records the shared file's OST layout per repetition
+	// (nil entries for PLFS, which has per-rank layouts).
+	LayoutOSTs [][]int
+	// PLFS holds the realised per-rank backend assignment per repetition
+	// for PLFS runs.
+	PLFS []core.Assignment
+}
+
+// PerProcWrite returns write bandwidth divided by task count — the
+// per-processor metric of Figure 2.
+func (r *Result) PerProcWrite() *stats.Sample {
+	out := &stats.Sample{}
+	for _, bw := range r.Write.Values() {
+		out.Add(bw / float64(r.Config.NumTasks))
+	}
+	return out
+}
+
+// Run executes the configuration on a fresh simulated system and returns
+// per-repetition bandwidths. The run is deterministic for a given
+// (platform seed, config) pair.
+func Run(plat *cluster.Platform, cfg Config) (*Result, error) {
+	if err := cfg.Validate(plat); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(plat.Seed).Fork(hashLabel(cfg.Label)))
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(cfg)
+	job := &job{sys: sys, cfg: cfg, res: res}
+	job.launch()
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("ior: simulation failed: %w", err)
+	}
+	return res, job.err
+}
+
+// RunContended executes n simultaneous copies of base on one simulated
+// system, each on a disjoint node range, all started at time zero — the
+// Section V contention experiments. Jobs repeat their reps back-to-back
+// and drift apart naturally, as on the real machine.
+func RunContended(plat *cluster.Platform, base Config, n int) ([]*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ior: need at least one job")
+	}
+	eng := sim.NewEngine()
+	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(plat.Seed).Fork(hashLabel(base.Label)+uint64(n)))
+	if err != nil {
+		return nil, err
+	}
+	nodes := plat.NodesFor(base.NumTasks)
+	results := make([]*Result, n)
+	jobs := make([]*job, n)
+	for j := 0; j < n; j++ {
+		cfg := base
+		cfg.Label = fmt.Sprintf("%s-job%d", base.Label, j)
+		cfg.FirstNode = j * nodes
+		if err := cfg.Validate(plat); err != nil {
+			return nil, err
+		}
+		results[j] = newResult(cfg)
+		jobs[j] = &job{sys: sys, cfg: cfg, res: results[j]}
+		jobs[j].launch()
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("ior: contended simulation failed: %w", err)
+	}
+	for _, jb := range jobs {
+		if jb.err != nil {
+			return nil, jb.err
+		}
+	}
+	return results, nil
+}
+
+// RunJobs executes a heterogeneous set of configurations simultaneously
+// on one simulated system. Unlike RunContended, the caller controls each
+// job's shape and placement (configs typically come from
+// workload.JobMix.Configs). Jobs must not overlap node ranges.
+func RunJobs(plat *cluster.Platform, cfgs []Config) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("ior: no jobs")
+	}
+	eng := sim.NewEngine()
+	seed := hashLabel("runjobs")
+	for _, cfg := range cfgs {
+		seed ^= hashLabel(cfg.Label)
+	}
+	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(plat.Seed).Fork(seed))
+	if err != nil {
+		return nil, err
+	}
+	type span struct{ from, to int }
+	var spans []span
+	results := make([]*Result, len(cfgs))
+	jobs := make([]*job, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(plat); err != nil {
+			return nil, err
+		}
+		s := span{cfg.FirstNode, cfg.FirstNode + plat.NodesFor(cfg.NumTasks) - 1}
+		for _, other := range spans {
+			if s.from <= other.to && other.from <= s.to {
+				return nil, fmt.Errorf("ior: job %q overlaps another job's nodes", cfg.Label)
+			}
+		}
+		spans = append(spans, s)
+		results[i] = newResult(cfg)
+		jobs[i] = &job{sys: sys, cfg: cfg, res: results[i]}
+		jobs[i].launch()
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("ior: job-mix simulation failed: %w", err)
+	}
+	for _, jb := range jobs {
+		if jb.err != nil {
+			return nil, jb.err
+		}
+	}
+	return results, nil
+}
+
+func newResult(cfg Config) *Result {
+	return &Result{Config: cfg, Write: &stats.Sample{}, Read: &stats.Sample{}}
+}
+
+func hashLabel(s string) uint64 {
+	// FNV-1a; labels seed per-run RNG streams deterministically.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RunningJob is a job launched on a shared simulated system via StartJob.
+type RunningJob struct {
+	// Result fills in as repetitions complete.
+	Result *Result
+	// Done fires when every rank's body has returned.
+	Done *sim.Signal
+	j    *job
+}
+
+// Err reports a failure inside the job's ranks (nil while healthy).
+func (r *RunningJob) Err() error { return r.j.err }
+
+// StartJob launches cfg on an existing simulated system at the current
+// virtual time. It is the building block for schedulers and custom
+// multi-job scenarios; Run and RunContended remain the conveniences for
+// one-shot executions.
+func StartJob(sys *lustre.System, cfg Config) (*RunningJob, error) {
+	if err := cfg.Validate(sys.Platform()); err != nil {
+		return nil, err
+	}
+	res := newResult(cfg)
+	j := &job{sys: sys, cfg: cfg, res: res}
+	w := j.launch()
+	return &RunningJob{Result: res, Done: w.Done(), j: j}, nil
+}
+
+// job drives one IOR execution inside a shared simulation.
+type job struct {
+	sys *lustre.System
+	cfg Config
+	res *Result
+	err error
+}
+
+func (j *job) launch() *mpi.World {
+	cfg := j.cfg
+	w := mpi.NewWorld(j.sys.Engine(), cfg.NumTasks, j.sys.Platform().CoresPerNode, cfg.FirstNode)
+	// Shared files are allocated up front so every rank of a repetition
+	// uses the same handle; layouts are still drawn at Open time.
+	files := make([]*mpiio.File, cfg.Reps)
+	if !cfg.FilePerProc {
+		for rep := range files {
+			files[rep] = mpiio.NewFile(j.sys, w.Comm(),
+				fmt.Sprintf("%s.rep%d", cfg.Label, rep), cfg.API, cfg.Hints)
+		}
+	}
+	w.Launch(func(r *mpi.Rank) {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			f := files[rep]
+			if cfg.FilePerProc {
+				sub := w.Comm().Split(r, r.ID(), 0)
+				f = mpiio.NewFile(j.sys, sub,
+					fmt.Sprintf("%s.rep%d.rank%d", cfg.Label, rep, r.ID()), cfg.API, cfg.Hints)
+			}
+			if err := j.phase(w, r, f, rep); err != nil && j.err == nil {
+				j.err = err
+				return
+			}
+		}
+	})
+	return w
+}
+
+// phase runs the write (and optional read) phase of one repetition,
+// recording aggregate bandwidth from rank 0.
+func (j *job) phase(w *mpi.World, r *mpi.Rank, f *mpiio.File, rep int) error {
+	cfg := j.cfg
+	p := r.Proc()
+	w.Comm().Barrier(r)
+	if cfg.WriteFile {
+		t0 := w.Comm().AllreduceMin(r, p.Now())
+		if err := j.doOpen(r, f); err != nil {
+			return err
+		}
+		if err := j.doWrite(r, f); err != nil {
+			return err
+		}
+		j.doClose(r, f)
+		t1 := w.Comm().AllreduceMax(r, p.Now())
+		if w.Comm().RankOf(r) == 0 {
+			j.record(j.res.Write, f, t1-t0)
+		}
+	}
+	if cfg.ReadFile {
+		w.Comm().Barrier(r)
+		t0 := w.Comm().AllreduceMin(r, p.Now())
+		if err := j.doRead(r, f); err != nil {
+			return err
+		}
+		t1 := w.Comm().AllreduceMax(r, p.Now())
+		if w.Comm().RankOf(r) == 0 {
+			j.res.Read.Add(cfg.TotalMB() / (t1 - t0))
+		}
+	}
+	return nil
+}
+
+func (j *job) doOpen(r *mpi.Rank, f *mpiio.File) error {
+	if j.cfg.FilePerProc {
+		return f.Open(r) // single-member comm: no cross-rank waiting
+	}
+	return f.Open(r)
+}
+
+func (j *job) doWrite(r *mpi.Rank, f *mpiio.File) error {
+	cfg := j.cfg
+	per := cfg.PerRankMB()
+	switch {
+	case cfg.FilePerProc:
+		return j.writeFilePerProc(r, f)
+	case cfg.Collective:
+		return f.WriteAll(r, per, cfg.TransferSizeMB)
+	default:
+		return f.WriteIndependent(r, per, cfg.TransferSizeMB)
+	}
+}
+
+// writeFilePerProc streams the rank's data to its private file as a
+// dedicated sequential writer — the access pattern of the paper's
+// single-OST contention benchmark.
+func (j *job) writeFilePerProc(r *mpi.Rank, f *mpiio.File) error {
+	layout := f.Layout()
+	if layout == nil {
+		// PLFS + FilePerProc degenerates to the same per-rank logs.
+		return f.WriteAll(r, j.cfg.PerRankMB(), j.cfg.TransferSizeMB)
+	}
+	p := r.Proc()
+	shares := layout.BytesPerOST(j.cfg.PerRankMB())
+	var dones []*sim.Signal
+	for i, mb := range shares {
+		if mb <= 0 {
+			continue
+		}
+		ost := j.sys.OST(layout.OSTs[i])
+		fl := j.sys.StartWrite(
+			fmt.Sprintf("fpp:%s:r%d:o%d", j.cfg.Label, r.ID(), ost.ID()),
+			mb, ost, lustre.WriteOpts{
+				Node:   r.Node(),
+				Class:  cluster.ClassSequential,
+				FileID: fileIDOf(f, r),
+				RPCMB:  j.cfg.TransferSizeMB,
+			})
+		dones = append(dones, fl.Done)
+	}
+	p.WaitAll(dones...)
+	return nil
+}
+
+func fileIDOf(f *mpiio.File, r *mpi.Rank) int {
+	if id := f.FileID(); id != 0 {
+		return id
+	}
+	return r.ID() + 1
+}
+
+func (j *job) doRead(r *mpi.Rank, f *mpiio.File) error {
+	return f.ReadAll(r, j.cfg.PerRankMB(), j.cfg.TransferSizeMB)
+}
+
+func (j *job) doClose(r *mpi.Rank, f *mpiio.File) {
+	f.Close(r)
+}
+
+// record captures bandwidth and layout telemetry for one repetition.
+func (j *job) record(sample *stats.Sample, f *mpiio.File, elapsed float64) {
+	sample.Add(j.cfg.TotalMB() / elapsed)
+	if c := f.Container(); c != nil {
+		j.res.PLFS = append(j.res.PLFS, c.Assignment())
+		j.res.LayoutOSTs = append(j.res.LayoutOSTs, nil)
+		return
+	}
+	if l := f.Layout(); l != nil {
+		osts := make([]int, len(l.OSTs))
+		copy(osts, l.OSTs)
+		j.res.LayoutOSTs = append(j.res.LayoutOSTs, osts)
+	} else {
+		j.res.LayoutOSTs = append(j.res.LayoutOSTs, nil)
+	}
+}

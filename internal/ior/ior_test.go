@@ -1,0 +1,328 @@
+package ior
+
+import (
+	"testing"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/core"
+	"pfsim/internal/mpiio"
+)
+
+func quietCab() *cluster.Platform {
+	p := cluster.Cab()
+	p.JitterCV = 0
+	return p
+}
+
+func TestPaperConfig(t *testing.T) {
+	cfg := PaperConfig(1024)
+	if cfg.PerRankMB() != 400 {
+		t.Errorf("per-rank = %v MB, want 400 (4 MB × 100 segments)", cfg.PerRankMB())
+	}
+	if cfg.TotalMB() != 409600 {
+		t.Errorf("total = %v MB, want 409600", cfg.TotalMB())
+	}
+	if !cfg.WriteFile || cfg.ReadFile {
+		t.Error("Table II is write-only")
+	}
+	if err := cfg.Validate(quietCab()); err != nil {
+		t.Errorf("paper config invalid: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	plat := quietCab()
+	bad := []func(*Config){
+		func(c *Config) { c.NumTasks = 0 },
+		func(c *Config) { c.BlockSizeMB = 0 },
+		func(c *Config) { c.TransferSizeMB = 0 },
+		func(c *Config) { c.TransferSizeMB = c.BlockSizeMB + 1 },
+		func(c *Config) { c.SegmentCount = 0 },
+		func(c *Config) { c.Reps = 0 },
+		func(c *Config) { c.WriteFile = false },
+		func(c *Config) { c.FirstNode = -1 },
+		func(c *Config) { c.FirstNode = 1199 }, // 64-node job falls off the machine
+	}
+	for i, mut := range bad {
+		cfg := PaperConfig(1024)
+		mut(&cfg)
+		if err := cfg.Validate(plat); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestRunTunedAnchor(t *testing.T) {
+	cfg := PaperConfig(1024)
+	cfg.Hints = TunedHints()
+	cfg.Reps = 3
+	res, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Write.N() != 3 {
+		t.Fatalf("reps recorded = %d", res.Write.N())
+	}
+	mean := res.Write.Mean()
+	if mean < 0.8*15609 || mean > 1.2*15609 {
+		t.Errorf("tuned mean = %.0f MB/s, want ≈15609", mean)
+	}
+	// Every rep captured the 160-OST layout.
+	if len(res.LayoutOSTs) != 3 {
+		t.Fatalf("layouts = %d", len(res.LayoutOSTs))
+	}
+	for _, l := range res.LayoutOSTs {
+		if len(l) != 160 {
+			t.Errorf("layout size = %d, want 160", len(l))
+		}
+	}
+}
+
+func TestRunDefaultAnchor(t *testing.T) {
+	cfg := PaperConfig(1024)
+	cfg.API = mpiio.DriverUFS
+	cfg.Reps = 2
+	res, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.Write.Mean()
+	if mean < 0.75*313 || mean > 1.25*313 {
+		t.Errorf("default mean = %.0f MB/s, want ≈313", mean)
+	}
+}
+
+func TestFilePerProcPinnedOST(t *testing.T) {
+	// The Figure 2 benchmark: k writers, each with a private 1-stripe file
+	// pinned to the same OST.
+	for _, k := range []int{1, 4, 16} {
+		cfg := Config{
+			Label: "fig2", API: mpiio.DriverLustre,
+			BlockSizeMB: 4, TransferSizeMB: 1, SegmentCount: 25,
+			NumTasks: k, WriteFile: true, FilePerProc: true,
+			Hints: mpiio.Hints{StripingFactor: 1, StripingUnitMB: 1, StripeOffset: 7},
+			Reps:  2,
+		}
+		res, err := Run(quietCab(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := res.PerProcWrite().Mean()
+		ideal := 288.0 / float64(k)
+		if per > ideal*1.01 {
+			t.Errorf("k=%d: per-proc %.1f exceeds ideal %.1f", k, per, ideal)
+		}
+		if per < ideal*0.8 {
+			t.Errorf("k=%d: per-proc %.1f too far below ideal %.1f", k, per, ideal)
+		}
+	}
+}
+
+func TestContendedFourJobs(t *testing.T) {
+	// Section V headline: four tuned jobs each reach ~4.5 GB/s, a 3-4×
+	// drop from the 15.6 GB/s solo peak.
+	base := PaperConfig(1024)
+	base.Hints = TunedHints()
+	base.Reps = 3
+	results, err := RunContended(quietCab(), base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for j, res := range results {
+		mean := res.Write.Mean()
+		if mean < 2500 || mean > 7000 {
+			t.Errorf("job %d mean = %.0f MB/s, want ~4500 (contended)", j, mean)
+		}
+		if mean > 15609.0/2 {
+			t.Errorf("job %d mean = %.0f: contention should cost ≥2×", j, mean)
+		}
+	}
+}
+
+func TestContendedJobsOnDisjointNodes(t *testing.T) {
+	base := PaperConfig(64)
+	base.Reps = 1
+	base.Hints = TunedHints()
+	results, err := RunContended(quietCab(), base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, res := range results {
+		if seen[res.Config.FirstNode] {
+			t.Errorf("jobs share FirstNode %d", res.Config.FirstNode)
+		}
+		seen[res.Config.FirstNode] = true
+	}
+}
+
+func TestPLFSRunRecordsAssignment(t *testing.T) {
+	cfg := PaperConfig(128)
+	cfg.API = mpiio.DriverPLFS
+	cfg.Reps = 2
+	cfg.SegmentCount = 10 // keep the test fast
+	res, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PLFS) != 2 {
+		t.Fatalf("PLFS assignments = %d, want 2", len(res.PLFS))
+	}
+	for _, a := range res.PLFS {
+		if len(a.JobOSTs) != 128 {
+			t.Errorf("assignment ranks = %d", len(a.JobOSTs))
+		}
+		// Realised load should track Equation 6.
+		want := core.PLFSLoad(480, 128)
+		if got := a.Load(); got < want*0.9 || got > want*1.1 {
+			t.Errorf("realised load = %.2f, want ≈%.2f", got, want)
+		}
+	}
+}
+
+func TestReadPhase(t *testing.T) {
+	cfg := PaperConfig(64)
+	cfg.ReadFile = true
+	cfg.Reps = 2
+	cfg.SegmentCount = 10
+	cfg.Hints = TunedHints()
+	res, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Read.N() != 2 {
+		t.Fatalf("read reps = %d", res.Read.N())
+	}
+	if res.Read.Mean() <= 0 {
+		t.Error("read bandwidth not positive")
+	}
+}
+
+func TestIndependentMode(t *testing.T) {
+	cfg := PaperConfig(64)
+	cfg.Collective = false
+	cfg.Reps = 1
+	cfg.SegmentCount = 10
+	cfg.Hints.StripingFactor = 64
+	cfg.Hints.StripingUnitMB = 16
+	res, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := PaperConfig(64)
+	coll.Reps = 1
+	coll.SegmentCount = 10
+	coll.Hints = cfg.Hints
+	collRes, err := Run(quietCab(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Write.Mean() >= collRes.Write.Mean() {
+		t.Errorf("independent (%.0f) should underperform collective (%.0f)",
+			res.Write.Mean(), collRes.Write.Mean())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := PaperConfig(128)
+	cfg.Reps = 2
+	cfg.SegmentCount = 20
+	cfg.Hints = TunedHints()
+	a, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Write.Values(), b.Write.Values()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Errorf("rep %d differs: %v vs %v", i, av[i], bv[i])
+		}
+	}
+}
+
+func TestRepsRedrawLayouts(t *testing.T) {
+	cfg := PaperConfig(64)
+	cfg.Hints = TunedHints()
+	cfg.Reps = 3
+	cfg.SegmentCount = 5
+	res, err := Run(quietCab(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 1; i < len(res.LayoutOSTs); i++ {
+		if equalInts(res.LayoutOSTs[i], res.LayoutOSTs[0]) {
+			same++
+		}
+	}
+	if same == len(res.LayoutOSTs)-1 {
+		t.Error("all repetitions drew identical layouts; files must be recreated")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRunJobsHeterogeneous(t *testing.T) {
+	small := PaperConfig(64)
+	small.Label = "mix-small"
+	small.Reps = 1
+	small.SegmentCount = 10
+	small.Hints.StripingFactor = 32
+	small.Hints.StripingUnitMB = 64
+	big := PaperConfig(256)
+	big.Label = "mix-big"
+	big.Reps = 1
+	big.SegmentCount = 10
+	big.Hints = TunedHints()
+	big.FirstNode = 4 // after the 4-node small job
+	results, err := RunJobs(quietCab(), []Config{small, big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, res := range results {
+		if res.Write.Mean() <= 0 {
+			t.Errorf("job %d produced no bandwidth", i)
+		}
+	}
+	// The bigger, wider-striped job should achieve more bandwidth.
+	if results[1].Write.Mean() <= results[0].Write.Mean() {
+		t.Errorf("big job (%.0f) should beat small job (%.0f)",
+			results[1].Write.Mean(), results[0].Write.Mean())
+	}
+}
+
+func TestRunJobsRejectsOverlap(t *testing.T) {
+	a := PaperConfig(64)
+	a.Label = "a"
+	a.Reps = 1
+	b := PaperConfig(64)
+	b.Label = "b"
+	b.Reps = 1
+	b.FirstNode = 2 // overlaps a's nodes 0-3
+	if _, err := RunJobs(quietCab(), []Config{a, b}); err == nil {
+		t.Error("overlapping jobs accepted")
+	}
+	if _, err := RunJobs(quietCab(), nil); err == nil {
+		t.Error("empty job list accepted")
+	}
+}

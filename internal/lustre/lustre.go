@@ -1,0 +1,299 @@
+// Package lustre simulates a Lustre parallel file system: a metadata
+// server that assigns object storage targets (OSTs) to files at creation
+// time, striped file layouts, and a fluid-network topology (client NICs →
+// backbone → object storage servers → OSTs) whose OST links carry
+// class-aware capacity models. It is the substrate on which the paper's
+// contention experiments run.
+package lustre
+
+import (
+	"fmt"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/flow"
+	"pfsim/internal/sim"
+	"pfsim/internal/stats"
+)
+
+// System is one simulated Lustre installation bound to an engine. Build a
+// fresh System per experiment repetition: per-OST jitter is drawn at build
+// time, which gives realistic run-to-run variance.
+type System struct {
+	plat *cluster.Platform
+	eng  *sim.Engine
+	net  *flow.Net
+
+	backbone *flow.Link
+	nics     []*flow.Link
+	osss     []*flow.Link
+	osts     []*OST
+
+	mds     *MDS
+	rng     *stats.RNG
+	fileSeq int
+}
+
+// NewSystem builds the simulated file system and network topology for plat.
+// The rng drives OST allocation and service jitter; fork it per repetition.
+func NewSystem(eng *sim.Engine, plat *cluster.Platform, rng *stats.RNG) (*System, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		plat: plat,
+		eng:  eng,
+		net:  flow.NewNet(eng),
+		rng:  rng,
+	}
+	s.backbone = s.net.NewLink("backbone", flow.Const(plat.BackboneMBs))
+	s.nics = make([]*flow.Link, plat.Nodes)
+	for i := range s.nics {
+		s.nics[i] = s.net.NewLink(fmt.Sprintf("nic%d", i), flow.Const(plat.NICMBs))
+	}
+	s.osss = make([]*flow.Link, plat.OSSs)
+	for i := range s.osss {
+		s.osss[i] = s.net.NewLink(fmt.Sprintf("oss%d", i), flow.Const(plat.OSSMBs))
+	}
+	s.osts = make([]*OST, plat.OSTs)
+	for i := range s.osts {
+		m := &ostModel{plat: plat, jitter: rng.Jitter(plat.JitterCV), health: 1}
+		ost := &OST{id: i, oss: plat.OSSOf(i), model: m, sys: s}
+		ost.link = s.net.NewLink(fmt.Sprintf("ost%d", i), m)
+		s.osts[i] = ost
+	}
+	s.mds = &MDS{
+		sys: s,
+		res: eng.NewResource("mds", 1),
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem, panicking on configuration errors. Intended
+// for tests and examples with known-good platforms.
+func MustNewSystem(eng *sim.Engine, plat *cluster.Platform, rng *stats.RNG) *System {
+	s, err := NewSystem(eng, plat, rng)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Platform returns the platform description the system was built from.
+func (s *System) Platform() *cluster.Platform { return s.plat }
+
+// Engine returns the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Net returns the fluid network.
+func (s *System) Net() *flow.Net { return s.net }
+
+// MDS returns the metadata server.
+func (s *System) MDS() *MDS { return s.mds }
+
+// RNG returns the system's random source.
+func (s *System) RNG() *stats.RNG { return s.rng }
+
+// OST returns target i.
+func (s *System) OST(i int) *OST { return s.osts[i] }
+
+// NumOSTs returns the OST population (Dtotal).
+func (s *System) NumOSTs() int { return len(s.osts) }
+
+// NIC returns the injection link of a compute node.
+func (s *System) NIC(node int) *flow.Link {
+	return s.nics[node%len(s.nics)]
+}
+
+// Backbone returns the shared I/O network link.
+func (s *System) Backbone() *flow.Link { return s.backbone }
+
+// OSSLink returns the link of object storage server i.
+func (s *System) OSSLink(i int) *flow.Link { return s.osss[i] }
+
+// PathFromNode returns the link path for a transfer from a compute node to
+// an OST: node NIC → backbone → hosting OSS → OST.
+func (s *System) PathFromNode(node int, ost *OST) []*flow.Link {
+	return []*flow.Link{s.NIC(node), s.backbone, s.osss[ost.oss], ost.link}
+}
+
+// OST is one object storage target.
+type OST struct {
+	id    int
+	oss   int
+	link  *flow.Link
+	model *ostModel
+	sys   *System
+}
+
+// ID returns the OST index (0..Dtotal-1).
+func (o *OST) ID() int { return o.id }
+
+// OSS returns the index of the hosting object storage server.
+func (o *OST) OSS() int { return o.oss }
+
+// Link returns the OST's network link.
+func (o *OST) Link() *flow.Link { return o.link }
+
+// ActiveJobs returns the number of distinct jobs (files) with streams
+// currently open on this OST — the live counterpart of the paper's OST
+// load.
+func (o *OST) ActiveJobs() int { return o.model.totalJobs() }
+
+// ActiveStreams returns the number of active streams on this OST.
+func (o *OST) ActiveStreams() int { return o.model.totalStreams }
+
+// SetHealth scales the OST's service capacity by factor (1 = healthy,
+// 0.1 = badly degraded, 0 = failed). Degradation injection models ailing
+// storage targets — RAID rebuilds, dying disks — whose effect on striped
+// jobs the contention metrics otherwise miss. The change applies to
+// in-flight transfers immediately.
+func (o *OST) SetHealth(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	o.model.health = factor
+	o.sys.net.Recompute()
+}
+
+// Health returns the current health factor.
+func (o *OST) Health() float64 { return o.model.health }
+
+// ostModel implements flow.CapacityModel with class- and job-aware
+// degradation:
+//
+//	capacity = jitter * meanEffBase / penalty(jobs)
+//
+// where meanEffBase averages each active stream's class base bandwidth
+// scaled by its RPC-size efficiency, jobs counts distinct files with
+// active streams (streams of one collective job are coordinated and do
+// not self-interfere), and penalty blends each present class's thrash
+// curve (see cluster.ClassParams.Penalty) weighted by its job share.
+type ostModel struct {
+	plat   *cluster.Platform
+	jitter float64
+	health float64 // degradation factor; 1 = healthy
+
+	classJobs    [3]map[int]int // class → fileID → active stream count
+	classStreams [3]int
+	totalStreams int
+	sumEffBase   float64
+}
+
+func (m *ostModel) totalJobs() int {
+	n := 0
+	for c := range m.classJobs {
+		n += len(m.classJobs[c])
+	}
+	return n
+}
+
+// Capacity implements flow.CapacityModel. The streams argument (the link's
+// raw flow count) is ignored in favour of the registered stream state,
+// which carries class and job identity.
+func (m *ostModel) Capacity(int) float64 {
+	if m.totalStreams == 0 {
+		// Idle link: report the best single-stream service rate; harmless
+		// since no flow crosses the link.
+		return m.health * m.jitter * m.plat.Class[cluster.ClassSequential].BaseMBs
+	}
+	meanBase := m.sumEffBase / float64(m.totalStreams)
+	jobs := 0
+	for c := range m.classJobs {
+		jobs += len(m.classJobs[c])
+	}
+	denom := 0.0
+	for c := range m.classJobs {
+		jc := len(m.classJobs[c])
+		if jc == 0 {
+			continue
+		}
+		share := float64(jc) / float64(jobs)
+		denom += share * m.plat.Class[c].Penalty(float64(jobs))
+	}
+	if denom < 1 {
+		denom = 1
+	}
+	return m.health * m.jitter * meanBase / denom
+}
+
+// Stream is a registered I/O stream on an OST. Registration makes the
+// OST's capacity model aware of the stream's class and owning job before
+// its flow starts; Remove must be called when the transfer ends (the
+// helpers in this package arrange that via flow completion callbacks).
+type Stream struct {
+	ost     *OST
+	class   cluster.StreamClass
+	fileID  int
+	effBase float64
+	removed bool
+}
+
+// AddStream registers a stream of the given class for file fileID writing
+// RPCs of rpcMB to this OST. Callers must trigger a network recompute
+// (starting a flow does so automatically).
+func (o *OST) AddStream(class cluster.StreamClass, fileID int, rpcMB float64) *Stream {
+	m := o.model
+	if m.classJobs[class] == nil {
+		m.classJobs[class] = make(map[int]int)
+	}
+	m.classJobs[class][fileID]++
+	m.classStreams[class]++
+	m.totalStreams++
+	eff := m.plat.Class[class].BaseMBs * m.plat.Class[class].Efficiency(rpcMB)
+	m.sumEffBase += eff
+	return &Stream{ost: o, class: class, fileID: fileID, effBase: eff}
+}
+
+// Remove deregisters the stream; removing twice is a no-op.
+func (st *Stream) Remove() {
+	if st.removed {
+		return
+	}
+	st.removed = true
+	m := st.ost.model
+	m.classJobs[st.class][st.fileID]--
+	if m.classJobs[st.class][st.fileID] <= 0 {
+		delete(m.classJobs[st.class], st.fileID)
+	}
+	m.classStreams[st.class]--
+	m.totalStreams--
+	m.sumEffBase -= st.effBase
+	if m.totalStreams == 0 {
+		m.sumEffBase = 0 // clear float residue
+	}
+}
+
+// WriteOpts describes one OST-bound transfer stream.
+type WriteOpts struct {
+	// Node is the compute node issuing the transfer.
+	Node int
+	// Class is the stream class for the OST service model.
+	Class cluster.StreamClass
+	// FileID identifies the owning file (lock/job domain).
+	FileID int
+	// RPCMB is the request size seen by the OST.
+	RPCMB float64
+	// MaxRate optionally caps the stream (MB/s); <= 0 = uncapped.
+	MaxRate float64
+	// Via optionally prepends links to the path (e.g. an aggregator's
+	// dispatch link).
+	Via []*flow.Link
+}
+
+// StartWrite registers a stream on the OST and starts its flow; the stream
+// deregisters automatically when the flow completes.
+func (s *System) StartWrite(name string, sizeMB float64, ost *OST, opts WriteOpts) *flow.Flow {
+	st := ost.AddStream(opts.Class, opts.FileID, opts.RPCMB)
+	path := append(append([]*flow.Link{}, opts.Via...), s.PathFromNode(opts.Node, ost)...)
+	return s.net.StartFunc(name, sizeMB, opts.MaxRate, st.Remove, path...)
+}
+
+// StreamSnapshot reports, per OST, the number of distinct active jobs —
+// used to derive live collision statistics during contended runs.
+func (s *System) StreamSnapshot() []int {
+	out := make([]int, len(s.osts))
+	for i, o := range s.osts {
+		out[i] = o.ActiveJobs()
+	}
+	return out
+}

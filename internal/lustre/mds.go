@@ -1,0 +1,139 @@
+package lustre
+
+import (
+	"fmt"
+
+	"pfsim/internal/sim"
+)
+
+// StripeSpec carries the layout parameters a file is created with —
+// the knobs the ad_lustre MPI-IO driver exposes as hints.
+type StripeSpec struct {
+	// Count is the stripe count (striping_factor); 0 selects the system
+	// default.
+	Count int
+	// SizeMB is the stripe size in MB (striping_unit); 0 selects the
+	// system default.
+	SizeMB float64
+	// OffsetOST pins the first stripe to a specific OST (stripe_offset
+	// hint); -1 requests random placement. With a pinned offset the
+	// remaining stripes follow consecutively, matching Lustre's behaviour.
+	OffsetOST int
+}
+
+// DefaultSpec returns the spec used when files are created without hints.
+func DefaultSpec() StripeSpec { return StripeSpec{OffsetOST: -1} }
+
+// Layout records the OSTs backing a file and its stripe size.
+type Layout struct {
+	OSTs   []int
+	SizeMB float64
+}
+
+// StripeCount returns the number of OSTs in the layout.
+func (l Layout) StripeCount() int { return len(l.OSTs) }
+
+// OSTForStripe returns the OST holding stripe index i (round-robin).
+func (l Layout) OSTForStripe(i int) int { return l.OSTs[i%len(l.OSTs)] }
+
+// BytesPerOST distributes a file of totalMB across the layout in whole
+// stripes, round-robin from stripe zero: the first (stripes mod count)
+// OSTs carry one extra stripe, the final partial stripe lands after them.
+// The returned slice is indexed like l.OSTs and sums to totalMB.
+func (l Layout) BytesPerOST(totalMB float64) []float64 {
+	n := len(l.OSTs)
+	out := make([]float64, n)
+	if totalMB <= 0 || n == 0 {
+		return out
+	}
+	full := int(totalMB / l.SizeMB)
+	rem := totalMB - float64(full)*l.SizeMB
+	for i := 0; i < n; i++ {
+		perOST := full / n
+		if i < full%n {
+			perOST++
+		}
+		out[i] = float64(perOST) * l.SizeMB
+	}
+	if rem > 0 {
+		out[full%n] += rem
+	}
+	return out
+}
+
+// File is a created file with its layout.
+type File struct {
+	ID     int
+	Name   string
+	Layout Layout
+}
+
+// MDS is the metadata server: a single-service-point resource that
+// allocates OSTs to new files. Allocation is random without replacement
+// (lscratchc assigns targets "at random, based on current usage, to
+// maintain an approximately even capacity"), or consecutive from a pinned
+// offset when the stripe_offset hint is used.
+type MDS struct {
+	sys *System
+	res *sim.Resource
+
+	creates int
+}
+
+// Creates reports the number of files created (telemetry).
+func (m *MDS) Creates() int { return m.creates }
+
+// Create allocates a layout for a new file, charging the caller the
+// metadata service time. The spec is normalised against system defaults
+// and validated against the platform's stripe limit.
+func (m *MDS) Create(p *sim.Proc, name string, spec StripeSpec) (*File, error) {
+	plat := m.sys.plat
+	if spec.Count == 0 {
+		spec.Count = plat.DefaultStripeCount
+	}
+	if spec.SizeMB == 0 {
+		spec.SizeMB = plat.DefaultStripeSizeMB
+	}
+	if spec.Count < 0 || spec.Count > plat.MaxStripeCount {
+		return nil, fmt.Errorf("lustre: stripe count %d outside 1..%d", spec.Count, plat.MaxStripeCount)
+	}
+	if spec.SizeMB < 0 {
+		return nil, fmt.Errorf("lustre: negative stripe size %v", spec.SizeMB)
+	}
+	if spec.OffsetOST >= plat.OSTs {
+		return nil, fmt.Errorf("lustre: stripe offset %d beyond %d OSTs", spec.OffsetOST, plat.OSTs)
+	}
+	m.res.Use(p, plat.MDSOpTime)
+	var osts []int
+	if spec.OffsetOST >= 0 {
+		osts = make([]int, spec.Count)
+		for i := range osts {
+			osts[i] = (spec.OffsetOST + i) % plat.OSTs
+		}
+	} else {
+		osts = m.sys.rng.SampleWithoutReplacement(plat.OSTs, spec.Count)
+	}
+	m.sys.fileSeq++
+	m.creates++
+	return &File{
+		ID:     m.sys.fileSeq,
+		Name:   name,
+		Layout: Layout{OSTs: osts, SizeMB: spec.SizeMB},
+	}, nil
+}
+
+// MustCreate is Create, panicking on spec errors; for callers with
+// validated specs.
+func (m *MDS) MustCreate(p *sim.Proc, name string, spec StripeSpec) *File {
+	f, err := m.Create(p, name, spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Stat models a cheap metadata query (open of an existing file, unlink,
+// etc.), charging one metadata service time.
+func (m *MDS) Stat(p *sim.Proc) {
+	m.res.Use(p, m.sys.plat.MDSOpTime)
+}

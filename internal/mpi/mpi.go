@@ -1,0 +1,318 @@
+// Package mpi provides a deterministic message-passing abstraction over the
+// simulation engine: a world of ranks (one simulated process each, mapped
+// to compute nodes like MPI ranks on Cab — CoresPerNode ranks per node),
+// communicators with barrier/reduction/gather collectives, and
+// communicator splitting. Collective calls must be made by every rank of a
+// communicator in the same order, mirroring MPI semantics. Collectives
+// charge a logarithmic latency model.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pfsim/internal/sim"
+)
+
+// DefaultCollectiveLatency is the per-tree-stage latency charged by
+// collective operations (seconds); roughly an InfiniBand message latency.
+const DefaultCollectiveLatency = 2e-6
+
+// World is a set of ranks executing a common body.
+type World struct {
+	eng    *sim.Engine
+	size   int
+	nodeOf []int
+	// CollectiveLatency is the per-stage latency of collective operations.
+	CollectiveLatency float64
+
+	world *Comm
+	done  *sim.Signal
+	left  int
+}
+
+// NewWorld creates a world of size ranks packed coresPerNode-to-a-node
+// starting at firstNode. Jobs in multi-job experiments use disjoint node
+// ranges.
+func NewWorld(eng *sim.Engine, size, coresPerNode, firstNode int) *World {
+	if size <= 0 || coresPerNode <= 0 {
+		panic(fmt.Sprintf("mpi: bad world geometry size=%d cores=%d", size, coresPerNode))
+	}
+	w := &World{
+		eng:               eng,
+		size:              size,
+		nodeOf:            make([]int, size),
+		CollectiveLatency: DefaultCollectiveLatency,
+		done:              eng.NewSignal("world-done"),
+		left:              size,
+	}
+	for r := 0; r < size; r++ {
+		w.nodeOf[r] = firstNode + r/coresPerNode
+	}
+	ranks := make([]int, size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	w.world = newComm(w, "world", ranks)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the world communicator.
+func (w *World) Comm() *Comm { return w.world }
+
+// NodeOf returns the compute node hosting a world rank.
+func (w *World) NodeOf(rank int) int { return w.nodeOf[rank] }
+
+// Nodes returns the number of distinct nodes the world spans.
+func (w *World) Nodes() int {
+	return w.nodeOf[w.size-1] - w.nodeOf[0] + 1
+}
+
+// Done fires once every rank's body has returned.
+func (w *World) Done() *sim.Signal { return w.done }
+
+// Launch starts every rank at the current virtual time. Run the engine to
+// execute them; Done fires when all bodies return.
+func (w *World) Launch(body func(r *Rank)) {
+	for i := 0; i < w.size; i++ {
+		rank := &Rank{world: w, id: i}
+		w.eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			rank.proc = p
+			body(rank)
+			w.left--
+			if w.left == 0 {
+				w.done.Fire()
+			}
+		})
+	}
+}
+
+// Rank is one simulated MPI process.
+type Rank struct {
+	world *World
+	id    int
+	proc  *sim.Proc
+}
+
+// ID returns the world rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Node returns the hosting compute node.
+func (r *Rank) Node() int { return r.world.nodeOf[r.id] }
+
+// Proc returns the underlying simulation process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// World returns the rank's world.
+func (r *Rank) World() *World { return r.world }
+
+// Comm is a communicator over a subset of world ranks.
+type Comm struct {
+	world *World
+	label string
+	ranks []int       // world rank ids, comm-rank order
+	index map[int]int // world rank → comm rank
+
+	seq     map[int]int // world rank → collective calls issued
+	pending map[int]*rendezvous
+}
+
+func newComm(w *World, label string, ranks []int) *Comm {
+	c := &Comm{
+		world:   w,
+		label:   label,
+		ranks:   ranks,
+		index:   make(map[int]int, len(ranks)),
+		seq:     make(map[int]int, len(ranks)),
+		pending: make(map[int]*rendezvous),
+	}
+	for i, r := range ranks {
+		c.index[r] = i
+	}
+	return c
+}
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Label returns the communicator's diagnostic name.
+func (c *Comm) Label() string { return c.label }
+
+// RankOf returns r's rank within the communicator, or -1 if not a member.
+func (c *Comm) RankOf(r *Rank) int {
+	if i, ok := c.index[r.id]; ok {
+		return i
+	}
+	return -1
+}
+
+// WorldRanks returns the member world ranks in comm order.
+func (c *Comm) WorldRanks() []int {
+	out := make([]int, len(c.ranks))
+	copy(out, c.ranks)
+	return out
+}
+
+// NodeOfWorldRank returns the compute node hosting a member world rank.
+func (c *Comm) NodeOfWorldRank(wr int) int { return c.world.nodeOf[wr] }
+
+// rendezvous matches one collective call across the communicator.
+type rendezvous struct {
+	arrived int
+	sig     *sim.Signal
+	vals    map[int]float64
+	result  any
+}
+
+// collective is the common engine for synchronising operations: every rank
+// contributes a value; the last arriver computes the result via finalize
+// (receiving contributions keyed by world rank), pays the tree latency, and
+// releases the others.
+func (c *Comm) collective(r *Rank, val float64, finalize func(map[int]float64) any) any {
+	if c.RankOf(r) < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %q", r.id, c.label))
+	}
+	idx := c.seq[r.id]
+	c.seq[r.id]++
+	rv := c.pending[idx]
+	if rv == nil {
+		rv = &rendezvous{
+			sig:  c.world.eng.NewSignal(fmt.Sprintf("%s-coll-%d", c.label, idx)),
+			vals: make(map[int]float64, len(c.ranks)),
+		}
+		c.pending[idx] = rv
+	}
+	rv.vals[r.id] = val
+	rv.arrived++
+	if rv.arrived < len(c.ranks) {
+		r.proc.Wait(rv.sig)
+		return rv.result
+	}
+	delete(c.pending, idx)
+	rv.result = finalize(rv.vals)
+	if lat := c.latency(); lat > 0 {
+		r.proc.Sleep(lat)
+	}
+	rv.sig.Fire()
+	return rv.result
+}
+
+func (c *Comm) latency() float64 {
+	n := len(c.ranks)
+	if n <= 1 {
+		return 0
+	}
+	stages := math.Ceil(math.Log2(float64(n)))
+	return c.world.CollectiveLatency * stages
+}
+
+// Barrier blocks until every comm member arrives.
+func (c *Comm) Barrier(r *Rank) {
+	c.collective(r, 0, func(map[int]float64) any { return nil })
+}
+
+// AllreduceMin returns the minimum contribution across the communicator.
+func (c *Comm) AllreduceMin(r *Rank, v float64) float64 {
+	return c.collective(r, v, func(vals map[int]float64) any {
+		min := math.Inf(1)
+		for _, x := range vals {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	}).(float64)
+}
+
+// AllreduceMax returns the maximum contribution across the communicator.
+func (c *Comm) AllreduceMax(r *Rank, v float64) float64 {
+	return c.collective(r, v, func(vals map[int]float64) any {
+		max := math.Inf(-1)
+		for _, x := range vals {
+			if x > max {
+				max = x
+			}
+		}
+		return max
+	}).(float64)
+}
+
+// AllreduceSum returns the sum of contributions across the communicator.
+func (c *Comm) AllreduceSum(r *Rank, v float64) float64 {
+	return c.collective(r, v, func(vals map[int]float64) any {
+		// Sum in world-rank order for bit-exact determinism.
+		keys := make([]int, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		sum := 0.0
+		for _, k := range keys {
+			sum += vals[k]
+		}
+		return sum
+	}).(float64)
+}
+
+// AllGather returns every rank's contribution in comm-rank order.
+func (c *Comm) AllGather(r *Rank, v float64) []float64 {
+	return c.collective(r, v, func(vals map[int]float64) any {
+		out := make([]float64, len(c.ranks))
+		for i, wr := range c.ranks {
+			out[i] = vals[wr]
+		}
+		return out
+	}).([]float64)
+}
+
+// Split partitions the communicator by color, ordering each new
+// communicator by (key, world rank) — MPI_Comm_split semantics. Every
+// member must call Split; each receives its sub-communicator.
+func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	// Pack color/key into the float contribution losslessly (both are
+	// small integers in practice; guard anyway).
+	if color < 0 || color > 1<<20 || key < -(1<<20) || key > 1<<20 {
+		panic("mpi: Split color/key out of supported range")
+	}
+	packed := float64(color)*(1<<21) + float64(key+(1<<20))
+	result := c.collective(r, packed, func(vals map[int]float64) any {
+		type member struct{ color, key, world int }
+		members := make([]member, 0, len(vals))
+		for wr, pv := range vals {
+			col := int(pv / (1 << 21))
+			k := int(pv-float64(col)*(1<<21)) - (1 << 20)
+			members = append(members, member{col, k, wr})
+		}
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].color != members[j].color {
+				return members[i].color < members[j].color
+			}
+			if members[i].key != members[j].key {
+				return members[i].key < members[j].key
+			}
+			return members[i].world < members[j].world
+		})
+		comms := make(map[int]*Comm)
+		byColor := make(map[int][]int)
+		for _, m := range members {
+			byColor[m.color] = append(byColor[m.color], m.world)
+		}
+		colors := make([]int, 0, len(byColor))
+		for col := range byColor {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		for _, col := range colors {
+			sub := newComm(c.world, fmt.Sprintf("%s/c%d", c.label, col), byColor[col])
+			for _, wr := range byColor[col] {
+				comms[wr] = sub
+			}
+		}
+		return comms
+	})
+	return result.(map[int]*Comm)[r.id]
+}

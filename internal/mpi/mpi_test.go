@@ -1,0 +1,285 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"pfsim/internal/sim"
+)
+
+func TestWorldGeometry(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 64, 16, 10)
+	if w.Size() != 64 {
+		t.Errorf("size = %d", w.Size())
+	}
+	if w.NodeOf(0) != 10 || w.NodeOf(15) != 10 || w.NodeOf(16) != 11 || w.NodeOf(63) != 13 {
+		t.Errorf("node mapping wrong: %d %d %d %d",
+			w.NodeOf(0), w.NodeOf(15), w.NodeOf(16), w.NodeOf(63))
+	}
+	if w.Nodes() != 4 {
+		t.Errorf("nodes = %d, want 4", w.Nodes())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewWorld(sim.NewEngine(), 0, 16, 0)
+}
+
+func TestLaunchAndDone(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 8, 4, 0)
+	var ran int32
+	w.Launch(func(r *Rank) {
+		r.Proc().Sleep(float64(r.ID()))
+		atomic.AddInt32(&ran, 1)
+	})
+	finished := false
+	eng.Spawn("watcher", func(p *sim.Proc) {
+		p.Wait(w.Done())
+		finished = true
+		if p.Now() != 7 {
+			t.Errorf("done at %v, want 7 (slowest rank)", p.Now())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 8 || !finished {
+		t.Errorf("ran=%d finished=%v", ran, finished)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 16, 16, 0)
+	var after []float64
+	w.Launch(func(r *Rank) {
+		r.Proc().Sleep(float64(r.ID()) * 0.1) // staggered arrivals
+		w.Comm().Barrier(r)
+		after = append(after, r.Proc().Now())
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1.5 + w.CollectiveLatency*4 // slowest arrival + log2(16) stages
+	for _, tm := range after {
+		if math.Abs(tm-want) > 1e-9 {
+			t.Errorf("rank released at %v, want %v", tm, want)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 10, 16, 0)
+	w.Launch(func(r *Rank) {
+		v := float64(r.ID())
+		if got := w.Comm().AllreduceMin(r, v); got != 0 {
+			t.Errorf("min = %v", got)
+		}
+		if got := w.Comm().AllreduceMax(r, v); got != 9 {
+			t.Errorf("max = %v", got)
+		}
+		if got := w.Comm().AllreduceSum(r, v); got != 45 {
+			t.Errorf("sum = %v", got)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 5, 16, 0)
+	w.Launch(func(r *Rank) {
+		got := w.Comm().AllGather(r, float64(r.ID()*r.ID()))
+		for i, v := range got {
+			if v != float64(i*i) {
+				t.Errorf("gather[%d] = %v", i, v)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitByColor(t *testing.T) {
+	// The Figure 2 benchmark splits a world into per-file communicators.
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 12, 16, 0)
+	w.Launch(func(r *Rank) {
+		color := r.ID() % 3
+		sub := w.Comm().Split(r, color, r.ID())
+		if sub.Size() != 4 {
+			t.Errorf("subcomm size = %d, want 4", sub.Size())
+		}
+		if sub.RankOf(r) != r.ID()/3 {
+			t.Errorf("world %d: sub rank = %d, want %d", r.ID(), sub.RankOf(r), r.ID()/3)
+		}
+		// Collectives work within the split comm.
+		if got := sub.AllreduceSum(r, 1); got != 4 {
+			t.Errorf("sub sum = %v", got)
+		}
+		// Members share a color.
+		for _, wr := range sub.WorldRanks() {
+			if wr%3 != color {
+				t.Errorf("world %d in wrong color group", wr)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 4, 16, 0)
+	w.Launch(func(r *Rank) {
+		// Reverse ordering by key: highest world rank becomes sub rank 0.
+		sub := w.Comm().Split(r, 0, -r.ID())
+		if got, want := sub.RankOf(r), 3-r.ID(); got != want {
+			t.Errorf("world %d: sub rank = %d, want %d", r.ID(), got, want)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 1, 16, 0)
+	w.Launch(func(r *Rank) {
+		w.Comm().Barrier(r)
+		if got := w.Comm().AllreduceMax(r, 7); got != 7 {
+			t.Errorf("solo max = %v", got)
+		}
+		sub := w.Comm().Split(r, 5, 0)
+		if sub.Size() != 1 {
+			t.Errorf("solo split size = %d", sub.Size())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != 0 {
+		t.Errorf("single-rank collectives should be free, t=%v", eng.Now())
+	}
+}
+
+func TestForeignRankPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	w1 := NewWorld(eng, 2, 16, 0)
+	w2 := NewWorld(eng, 2, 16, 10)
+	w1.Launch(func(r *Rank) {
+		if r.ID() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic for foreign-comm collective")
+				}
+			}()
+			w2.Comm().Barrier(r) // wrong comm
+		}
+	})
+	w2.Launch(func(r *Rank) {})
+	_ = eng.Run() // the panic is recovered inside the rank body
+}
+
+func TestRepeatedCollectivesMatchInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 6, 16, 0)
+	w.Launch(func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			if got := w.Comm().AllreduceSum(r, float64(i)); got != float64(6*i) {
+				t.Errorf("iteration %d: sum = %v", i, got)
+				return
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankAccessors(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWorld(eng, 2, 1, 5)
+	w.Launch(func(r *Rank) {
+		if r.World() != w {
+			t.Error("World() mismatch")
+		}
+		if r.Node() != 5+r.ID() {
+			t.Errorf("rank %d on node %d", r.ID(), r.Node())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Comm().Label(); got != "world" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestSplitPartitionProperty(t *testing.T) {
+	// Property: for arbitrary color assignments, the split communicators
+	// partition the world — every rank lands in exactly one subcomm, all
+	// members share its color, and comm ranks are ordered by key.
+	for seed := 0; seed < 8; seed++ {
+		size := 5 + seed*3
+		colors := make([]int, size)
+		keys := make([]int, size)
+		for i := range colors {
+			colors[i] = (i*7 + seed) % 3
+			keys[i] = (size - i) * ((seed % 2) + 1)
+		}
+		eng := sim.NewEngine()
+		w := NewWorld(eng, size, 16, 0)
+		membership := make([]*Comm, size)
+		w.Launch(func(r *Rank) {
+			sub := w.Comm().Split(r, colors[r.ID()], keys[r.ID()])
+			membership[r.ID()] = sub
+			// Members agree on color.
+			for _, wr := range sub.WorldRanks() {
+				if colors[wr] != colors[r.ID()] {
+					t.Errorf("seed %d: world %d grouped with wrong color", seed, wr)
+				}
+			}
+			// Comm order sorted by (key, world rank).
+			ranks := sub.WorldRanks()
+			for i := 1; i < len(ranks); i++ {
+				a, b := ranks[i-1], ranks[i]
+				if keys[a] > keys[b] || (keys[a] == keys[b] && a > b) {
+					t.Errorf("seed %d: comm order violates keys: %d before %d", seed, a, b)
+				}
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Partition: total membership equals world size exactly once.
+		total := 0
+		seen := map[*Comm]bool{}
+		for _, c := range membership {
+			if c == nil {
+				t.Fatalf("seed %d: rank missing subcomm", seed)
+			}
+			if !seen[c] {
+				seen[c] = true
+				total += c.Size()
+			}
+		}
+		if total != size {
+			t.Errorf("seed %d: subcomms cover %d of %d ranks", seed, total, size)
+		}
+	}
+}

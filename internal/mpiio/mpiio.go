@@ -1,0 +1,462 @@
+// Package mpiio simulates the MPI-IO layer (ROMIO) over the Lustre
+// substrate. It provides a collective file API with hints and three ADIO
+// drivers:
+//
+//   - DriverUFS: the generic POSIX driver (ad_ufs). Collective buffering
+//     works, but the driver is striping-blind: layout hints are ignored, so
+//     files keep the system default layout — the "default MPI-IO"
+//     configuration that the paper's 49× improvement is measured against.
+//   - DriverLustre: the Lustre driver (ad_lustre). striping_factor,
+//     striping_unit and stripe_offset hints reach the MDS at create time
+//     and aggregators are mapped group-cyclically onto OSTs.
+//   - DriverPLFS: the PLFS driver (ad_plfs). The N-to-1 file becomes N
+//     per-rank logs in a backend container (see package plfs).
+//
+// Collective writes use two-phase I/O: one aggregator per compute node,
+// each with a calibrated dispatch capacity, writing stripe-aligned file
+// domains. All ranks of the communicator must call the collective methods
+// in the same order.
+package mpiio
+
+import (
+	"fmt"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/flow"
+	"pfsim/internal/lustre"
+	"pfsim/internal/mpi"
+	"pfsim/internal/plfs"
+	"pfsim/internal/sim"
+)
+
+// Driver selects the ADIO driver backing a file.
+type Driver int
+
+const (
+	// DriverUFS is the generic POSIX driver (ad_ufs): hints ignored.
+	DriverUFS Driver = iota
+	// DriverLustre is the Lustre driver (ad_lustre): hints honoured.
+	DriverLustre
+	// DriverPLFS is the PLFS driver (ad_plfs): per-rank logs.
+	DriverPLFS
+)
+
+// String names the driver as in ROMIO.
+func (d Driver) String() string {
+	switch d {
+	case DriverUFS:
+		return "ad_ufs"
+	case DriverLustre:
+		return "ad_lustre"
+	case DriverPLFS:
+		return "ad_plfs"
+	default:
+		return fmt.Sprintf("driver(%d)", int(d))
+	}
+}
+
+// Hints mirrors the MPI-IO hints the paper tunes.
+type Hints struct {
+	// StripingFactor is the stripe count (0 = file system default).
+	StripingFactor int
+	// StripingUnitMB is the stripe size in MB (0 = default).
+	StripingUnitMB float64
+	// StripeOffset pins the first OST when positive; zero or negative
+	// requests random placement. (Real Lustre allows pinning to OST 0;
+	// the simulator sacrifices that corner so the zero value of Hints is
+	// safe.)
+	StripeOffset int
+	// CBNodes caps the number of collective-buffering aggregators
+	// (0 = one per compute node, the configuration used in the paper).
+	CBNodes int
+	// CBBufferMB is the collective buffer size (0 = platform default,
+	// 16 MB in the paper).
+	CBBufferMB float64
+}
+
+// NewHints returns hints with random placement (StripeOffset -1) and all
+// other values defaulted.
+func NewHints() Hints { return Hints{StripeOffset: -1} }
+
+// File is an open simulated MPI-IO file.
+type File struct {
+	sys    *lustre.System
+	comm   *mpi.Comm
+	name   string
+	driver Driver
+	hints  Hints
+
+	// Lustre/UFS state.
+	lf       *lustre.File
+	aggLinks []*flow.Link
+	aggNodes []int
+
+	// PLFS state.
+	container *plfs.Container
+	logs      map[int]*plfs.RankLog
+
+	openSig *sim.Signal
+	opSeq   map[int]int
+	opSigs  map[int]*sim.Signal
+	opened  bool
+	closed  bool
+}
+
+// NewFile prepares a file handle shared by a communicator. It performs no
+// simulated work; every rank of comm must then call Open.
+func NewFile(sys *lustre.System, comm *mpi.Comm, name string, driver Driver, hints Hints) *File {
+	return &File{
+		sys:     sys,
+		comm:    comm,
+		name:    name,
+		driver:  driver,
+		hints:   hints,
+		logs:    make(map[int]*plfs.RankLog),
+		openSig: sys.Engine().NewSignal("open:" + name),
+		opSeq:   make(map[int]int),
+		opSigs:  make(map[int]*sim.Signal),
+	}
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Driver returns the backing driver.
+func (f *File) Driver() Driver { return f.driver }
+
+// Layout returns the Lustre layout (nil for PLFS files, which have one
+// layout per rank log).
+func (f *File) Layout() *lustre.Layout {
+	if f.lf == nil {
+		return nil
+	}
+	return &f.lf.Layout
+}
+
+// Container returns the PLFS container (nil for non-PLFS files).
+func (f *File) Container() *plfs.Container { return f.container }
+
+// spec translates hints to a create request, enforcing driver semantics:
+// ad_ufs cannot pass striping hints through.
+func (f *File) spec() lustre.StripeSpec {
+	s := lustre.DefaultSpec()
+	if f.driver == DriverLustre {
+		s.Count = f.hints.StripingFactor
+		s.SizeMB = f.hints.StripingUnitMB
+		if f.hints.StripeOffset > 0 {
+			s.OffsetOST = f.hints.StripeOffset
+		}
+	}
+	return s
+}
+
+// Open opens the file collectively: rank 0 creates it (and, for PLFS, the
+// container metadata), every PLFS rank creates its logs, and all ranks
+// synchronise before returning — MPI_File_open semantics.
+func (f *File) Open(r *mpi.Rank) error {
+	p := r.Proc()
+	isRoot := f.comm.RankOf(r) == 0
+	switch f.driver {
+	case DriverPLFS:
+		if isRoot {
+			f.container = plfs.NewContainer(f.sys, f.name)
+			f.container.CreateMeta(p)
+			f.openSig.Fire()
+		}
+		p.Wait(f.openSig)
+		rl, err := f.container.OpenRank(p, r.ID())
+		if err != nil {
+			return err
+		}
+		f.logs[r.ID()] = rl
+	default:
+		if isRoot {
+			lf, err := f.sys.MDS().Create(p, f.name, f.spec())
+			if err != nil {
+				return err
+			}
+			f.lf = lf
+			f.buildAggregators()
+			f.openSig.Fire()
+		}
+		p.Wait(f.openSig)
+	}
+	f.comm.Barrier(r)
+	f.opened = true
+	return nil
+}
+
+// buildAggregators creates the collective-buffering dispatch links: one
+// aggregator on each distinct compute node of the communicator, bounded by
+// the cb_nodes hint. The stripe-aware ad_lustre driver additionally caps
+// aggregators at the stripe count (each OST gets a dedicated owner when
+// possible) and gains the RPC-pipelining factor for wide stripings; the
+// generic ad_ufs driver always uses every node. Capacities carry the
+// stripe-size dispatch efficiency and the system's run-to-run jitter.
+func (f *File) buildAggregators() {
+	plat := f.sys.Platform()
+	seen := make(map[int]bool)
+	var nodes []int
+	for _, wr := range f.comm.WorldRanks() {
+		n := f.comm.NodeOfWorldRank(wr)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	if f.hints.CBNodes > 0 && f.hints.CBNodes < len(nodes) {
+		nodes = nodes[:f.hints.CBNodes]
+	}
+	// The aggregator dispatches in chunks of at most the collective buffer,
+	// so a small cb_buffer_size hint throttles dispatch like small stripes.
+	chunk := f.lf.Layout.SizeMB
+	if cb := f.cbBufferMB(); chunk > cb {
+		// Stripes beyond the buffer still stream contiguously per OST; the
+		// dirty-window term is governed by the stripe, the per-RPC term by
+		// the buffer. Approximate with the buffer-limited chunk only when
+		// the buffer is smaller than the platform default.
+		if cb < plat.CollBufferMB {
+			chunk = cb
+		}
+	}
+	rate := plat.AggregatorMBs * plat.AggregatorEfficiency(chunk)
+	if f.driver == DriverLustre {
+		if r := f.lf.Layout.StripeCount(); r < len(nodes) {
+			nodes = nodes[:r]
+		}
+		rate *= plat.AggregatorPipelineFactor(f.lf.Layout.StripeCount())
+	}
+	f.aggNodes = nodes
+	f.aggLinks = make([]*flow.Link, len(nodes))
+	for i, n := range nodes {
+		cap := rate * f.sys.RNG().Jitter(plat.JitterCV)
+		f.aggLinks[i] = f.sys.Net().NewLink(
+			fmt.Sprintf("agg:%s:%d", f.name, n), flow.Const(cap))
+	}
+}
+
+// WriteAll performs a collective write: every rank contributes sizeMB. For
+// Lustre/UFS the data moves through two-phase I/O; for PLFS each rank
+// appends to its own logs. WriteAll returns when the operation completes
+// on every rank.
+func (f *File) WriteAll(r *mpi.Rank, sizeMB, transferMB float64) error {
+	if !f.opened || f.closed {
+		return fmt.Errorf("mpiio: WriteAll on %q before Open or after Close", f.name)
+	}
+	if sizeMB < 0 || transferMB <= 0 {
+		return fmt.Errorf("mpiio: bad WriteAll size=%v transfer=%v", sizeMB, transferMB)
+	}
+	p := r.Proc()
+	switch f.driver {
+	case DriverPLFS:
+		// Collective PLFS write: merge the symmetric per-rank log streams
+		// into one flow per OST (see plfs.Container.BatchWrite). The
+		// reduction both synchronises the ranks and yields the uniform
+		// per-rank volume the merge assumes.
+		total := f.comm.AllreduceSum(r, sizeMB)
+		idx := f.opSeq[r.ID()]
+		f.opSeq[r.ID()]++
+		sig := f.opSigs[idx]
+		if sig == nil {
+			sig = f.sys.Engine().NewSignal(fmt.Sprintf("plfswrite:%s:%d", f.name, idx))
+			f.opSigs[idx] = sig
+		}
+		if f.comm.RankOf(r) == 0 {
+			err := f.container.BatchWrite(p, total/float64(f.comm.Size()), transferMB)
+			delete(f.opSigs, idx)
+			sig.Fire()
+			return err
+		}
+		p.Wait(sig)
+		return nil
+	default:
+		total := f.comm.AllreduceSum(r, sizeMB)
+		idx := f.opSeq[r.ID()]
+		f.opSeq[r.ID()]++
+		sig := f.opSigs[idx]
+		if sig == nil {
+			sig = f.sys.Engine().NewSignal(fmt.Sprintf("writeall:%s:%d", f.name, idx))
+			f.opSigs[idx] = sig
+		}
+		if f.comm.RankOf(r) == 0 {
+			f.collectiveWrite(p, total)
+			delete(f.opSigs, idx)
+			sig.Fire()
+			return nil
+		}
+		p.Wait(sig)
+		return nil
+	}
+}
+
+// collectiveWrite launches the two-phase flows for one collective write of
+// totalMB and blocks until they drain.
+//
+// ROMIO divides the file into equal-volume per-aggregator domains, so
+// every aggregator carries total/A. With more aggregators than stripes
+// (generic ad_ufs at the default 2-stripe layout), aggregator j's domain
+// lands on OST j mod R; with at least as many stripes as aggregators
+// (stripe-aware ad_lustre, A = min(nodes, R)), aggregator j owns OSTs
+// {j, j+A, ...} group-cyclically and spreads its domain evenly across
+// them.
+func (f *File) collectiveWrite(p *sim.Proc, totalMB float64) {
+	if totalMB <= 0 {
+		return
+	}
+	layout := f.lf.Layout
+	A := len(f.aggLinks)
+	R := layout.StripeCount()
+	rpc := layout.SizeMB
+	if cb := f.cbBufferMB(); rpc > cb {
+		rpc = cb
+	}
+	var dones []*sim.Signal
+	start := func(agg int, ost *lustre.OST, mb float64) {
+		fl := f.sys.StartWrite(
+			fmt.Sprintf("cw:%s:a%d:o%d", f.name, agg, ost.ID()),
+			mb, ost, lustre.WriteOpts{
+				Node:   f.aggNodes[agg],
+				Class:  cluster.ClassCollective,
+				FileID: f.lf.ID,
+				RPCMB:  rpc,
+				Via:    []*flow.Link{f.aggLinks[agg]},
+			})
+		dones = append(dones, fl.Done)
+	}
+	domain := totalMB / float64(A)
+	if A >= R {
+		for j := 0; j < A; j++ {
+			start(j, f.sys.OST(layout.OSTs[j%R]), domain)
+		}
+	} else {
+		for j := 0; j < A; j++ {
+			owned := (R - j + A - 1) / A // OSTs {j, j+A, ...}
+			share := domain / float64(owned)
+			for k := j; k < R; k += A {
+				start(j, f.sys.OST(layout.OSTs[k]), share)
+			}
+		}
+	}
+	p.WaitAll(dones...)
+}
+
+func (f *File) cbBufferMB() float64 {
+	if f.hints.CBBufferMB > 0 {
+		return f.hints.CBBufferMB
+	}
+	return f.sys.Platform().CollBufferMB
+}
+
+// ReadAll performs a collective read of sizeMB per rank. The fluid model
+// is direction-agnostic, so reads exercise the same aggregator and OST
+// service paths as writes; PLFS reads replay each rank's log through its
+// index (see plfs.RankLog.Read).
+func (f *File) ReadAll(r *mpi.Rank, sizeMB, transferMB float64) error {
+	if !f.opened {
+		return fmt.Errorf("mpiio: ReadAll on %q before Open", f.name)
+	}
+	if sizeMB < 0 || transferMB <= 0 {
+		return fmt.Errorf("mpiio: bad ReadAll size=%v transfer=%v", sizeMB, transferMB)
+	}
+	p := r.Proc()
+	if f.driver == DriverPLFS {
+		rl := f.logs[r.ID()]
+		if rl == nil {
+			return fmt.Errorf("mpiio: rank %d has no PLFS log", r.ID())
+		}
+		if err := rl.Read(p, r.Node(), sizeMB); err != nil {
+			return err
+		}
+		f.comm.Barrier(r)
+		return nil
+	}
+	total := f.comm.AllreduceSum(r, sizeMB)
+	idx := f.opSeq[r.ID()]
+	f.opSeq[r.ID()]++
+	sig := f.opSigs[idx]
+	if sig == nil {
+		sig = f.sys.Engine().NewSignal(fmt.Sprintf("readall:%s:%d", f.name, idx))
+		f.opSigs[idx] = sig
+	}
+	if f.comm.RankOf(r) == 0 {
+		f.collectiveWrite(p, total)
+		delete(f.opSigs, idx)
+		sig.Fire()
+		return nil
+	}
+	p.Wait(sig)
+	return nil
+}
+
+// FileID returns the backing Lustre file's identity (its lock domain), or
+// 0 for PLFS files whose logs carry per-rank identities.
+func (f *File) FileID() int {
+	if f.lf == nil {
+		return 0
+	}
+	return f.lf.ID
+}
+
+// WriteIndependent writes sizeMB from this rank without coordination
+// (MPI_File_write_at): the rank's region spreads over the file's stripes,
+// and because nothing aligns accesses, each writing rank forms its own
+// lock domain on every OST it touches — the cross-client extent-lock
+// conflicts collective buffering exists to avoid.
+func (f *File) WriteIndependent(r *mpi.Rank, sizeMB, transferMB float64) error {
+	if !f.opened || f.closed {
+		return fmt.Errorf("mpiio: WriteIndependent on %q before Open or after Close", f.name)
+	}
+	if f.driver == DriverPLFS {
+		rl := f.logs[r.ID()]
+		if rl == nil {
+			return fmt.Errorf("mpiio: rank %d has no PLFS log", r.ID())
+		}
+		return rl.Write(r.Proc(), r.Node(), sizeMB, transferMB)
+	}
+	if sizeMB <= 0 {
+		return nil
+	}
+	p := r.Proc()
+	layout := f.lf.Layout
+	shares := layout.BytesPerOST(sizeMB)
+	rpc := transferMB
+	if rpc > layout.SizeMB {
+		rpc = layout.SizeMB
+	}
+	// Distinct pseudo-file ID per rank: independent writers conflict.
+	lockDomain := f.lf.ID*1_000_000 + r.ID() + 1
+	var dones []*sim.Signal
+	for k, mb := range shares {
+		if mb <= 0 {
+			continue
+		}
+		fl := f.sys.StartWrite(
+			fmt.Sprintf("iw:%s:r%d:o%d", f.name, r.ID(), layout.OSTs[k]),
+			mb, f.sys.OST(layout.OSTs[k]), lustre.WriteOpts{
+				Node:   r.Node(),
+				Class:  cluster.ClassCollective,
+				FileID: lockDomain,
+				RPCMB:  rpc,
+			})
+		dones = append(dones, fl.Done)
+	}
+	p.WaitAll(dones...)
+	return nil
+}
+
+// Close closes the file collectively: PLFS ranks flush their index logs,
+// rank 0 performs the final metadata update, and all ranks synchronise.
+func (f *File) Close(r *mpi.Rank) {
+	p := r.Proc()
+	if f.driver == DriverPLFS {
+		if rl := f.logs[r.ID()]; rl != nil {
+			rl.Close(p)
+		}
+	}
+	f.comm.Barrier(r)
+	if f.comm.RankOf(r) == 0 && !f.closed {
+		f.sys.MDS().Stat(p)
+		f.closed = true
+	}
+	f.comm.Barrier(r)
+}

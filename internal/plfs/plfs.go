@@ -1,0 +1,301 @@
+// Package plfs simulates the Parallel Log-structured File System (Bent et
+// al., SC'09) as layered over Lustre: an N-to-1 shared-file write becomes N
+// per-rank write streams, each appending to a private data log plus an
+// index log inside a container directory hashed into subdirectories. Every
+// data log is created with the system-default Lustre layout (two 1 MB
+// stripes on lscratchc), which is precisely why PLFS self-contends at
+// scale: n ranks behave like n jobs with R = 2 (Equations 5-6 of the
+// paper).
+package plfs
+
+import (
+	"fmt"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/core"
+	"pfsim/internal/lustre"
+	"pfsim/internal/sim"
+)
+
+// Container is one PLFS file: a backend directory tree holding per-rank
+// data and index logs.
+type Container struct {
+	sys     *lustre.System
+	name    string
+	subdirs int
+
+	createRes *sim.Resource
+	ready     *sim.Signal
+
+	logs  map[int]*RankLog
+	order []int
+}
+
+// NewContainer prepares a container shell for the given backend file
+// system. Call CreateMeta from exactly one rank, then OpenRank from every
+// writing rank.
+func NewContainer(sys *lustre.System, name string) *Container {
+	return &Container{
+		sys:       sys,
+		name:      name,
+		subdirs:   sys.Platform().PLFSSubdirs,
+		createRes: sys.Engine().NewResource("plfs-create:"+name, 1),
+		ready:     sys.Engine().NewSignal("plfs-ready:" + name),
+		logs:      make(map[int]*RankLog),
+	}
+}
+
+// Name returns the container name.
+func (c *Container) Name() string { return c.name }
+
+// Subdir returns the hashed backend subdirectory for a rank.
+func (c *Container) Subdir(rank int) int {
+	if rank < 0 {
+		rank = -rank
+	}
+	return rank % c.subdirs
+}
+
+// CreateMeta creates the container skeleton (top-level directory, metadata
+// and the hashed subdirectories) and unblocks OpenRank callers. PLFS
+// creates subdirectories lazily in batches; we charge one metadata
+// operation per subdirectory plus one for the container itself.
+func (c *Container) CreateMeta(p *sim.Proc) {
+	for i := 0; i <= c.subdirs; i++ {
+		c.sys.MDS().Stat(p)
+	}
+	c.ready.Fire()
+}
+
+// RankLog is one rank's pair of backend logs.
+type RankLog struct {
+	c      *Container
+	rank   int
+	subdir int
+	data   *lustre.File
+	index  *lustre.File
+
+	writtenMB float64
+	records   int
+	closed    bool
+}
+
+// OpenRank creates the rank's data and index logs. Creates serialize on
+// the container's backend-directory lock — the effective cost calibrated
+// by Platform.PLFSCreateTime — reproducing the open storm that dominates
+// large PLFS runs.
+func (c *Container) OpenRank(p *sim.Proc, rank int) (*RankLog, error) {
+	if _, dup := c.logs[rank]; dup {
+		return nil, fmt.Errorf("plfs: rank %d already open in %q", rank, c.name)
+	}
+	p.Wait(c.ready)
+	// Two creates (data + index) under the shared subdir DLM lock.
+	c.createRes.Use(p, 2*c.sys.Platform().PLFSCreateTime)
+	prefix := fmt.Sprintf("%s/hostdir.%d", c.name, c.Subdir(rank))
+	data, err := c.sys.MDS().Create(p, fmt.Sprintf("%s/dropping.data.%d", prefix, rank), lustre.DefaultSpec())
+	if err != nil {
+		return nil, err
+	}
+	index, err := c.sys.MDS().Create(p, fmt.Sprintf("%s/dropping.index.%d", prefix, rank),
+		lustre.StripeSpec{Count: 1, SizeMB: c.sys.Platform().DefaultStripeSizeMB, OffsetOST: -1})
+	if err != nil {
+		return nil, err
+	}
+	rl := &RankLog{c: c, rank: rank, subdir: c.Subdir(rank), data: data, index: index}
+	c.logs[rank] = rl
+	c.order = append(c.order, rank)
+	return rl, nil
+}
+
+// Data returns the rank's data log file.
+func (rl *RankLog) Data() *lustre.File { return rl.data }
+
+// Records returns the number of index records written.
+func (rl *RankLog) Records() int { return rl.records }
+
+// WrittenMB returns the volume appended to the data log.
+func (rl *RankLog) WrittenMB() float64 { return rl.writtenMB }
+
+// Write appends sizeMB from a rank on the given node as transfers of
+// transferMB each. The append stream is striped over the data log's
+// (default, 2-OST) layout; each stripe stream is rate-capped so the whole
+// rank sustains at most Platform.PLFSRankMBs, the calibrated per-rank PLFS
+// write path cost. Write blocks until the data is on the OSTs.
+func (rl *RankLog) Write(p *sim.Proc, node int, sizeMB, transferMB float64) error {
+	if rl.closed {
+		return fmt.Errorf("plfs: write to closed log (rank %d)", rl.rank)
+	}
+	if sizeMB < 0 || transferMB <= 0 {
+		return fmt.Errorf("plfs: bad write size=%v transfer=%v", sizeMB, transferMB)
+	}
+	if sizeMB == 0 {
+		return nil
+	}
+	plat := rl.c.sys.Platform()
+	shares := rl.data.Layout.BytesPerOST(sizeMB)
+	perStream := plat.PLFSRankMBs / float64(len(shares))
+	var dones []*sim.Signal
+	for i, mb := range shares {
+		if mb <= 0 {
+			continue
+		}
+		ost := rl.c.sys.OST(rl.data.Layout.OSTs[i])
+		f := rl.c.sys.StartWrite(
+			fmt.Sprintf("plfs:%s:r%d:o%d", rl.c.name, rl.rank, ost.ID()),
+			mb, ost, lustre.WriteOpts{
+				Node:    node,
+				Class:   cluster.ClassLogAppend,
+				FileID:  rl.data.ID,
+				RPCMB:   transferMB,
+				MaxRate: perStream,
+			})
+		dones = append(dones, f.Done)
+	}
+	p.WaitAll(dones...)
+	rl.writtenMB += sizeMB
+	rl.records += int(sizeMB / transferMB)
+	return nil
+}
+
+// BatchWrite appends perRankMB to every opened rank log in one collective
+// operation. Same-OST log streams are symmetric for uniform writes — equal
+// volume, equal rate cap, fair-shared service — so they complete
+// simultaneously and can be merged exactly into a single fluid flow per
+// OST. This keeps the flow population at O(OSTs) instead of O(ranks),
+// which is what makes 4,096-rank PLFS simulations tractable. Per-node NIC
+// links are omitted from the merged paths: PLFS rank streams never
+// approach NIC capacity (16 ranks × ~47 MB/s ≪ 1.6 GB/s).
+//
+// BatchWrite blocks until the slowest OST drains — exactly when the
+// slowest rank would finish under per-rank flows.
+func (c *Container) BatchWrite(p *sim.Proc, perRankMB, transferMB float64) error {
+	if perRankMB < 0 || transferMB <= 0 {
+		return fmt.Errorf("plfs: bad batch write size=%v transfer=%v", perRankMB, transferMB)
+	}
+	if perRankMB == 0 || len(c.order) == 0 {
+		return nil
+	}
+	plat := c.sys.Platform()
+	type ostShare struct {
+		totalMB float64
+		maxRate float64
+		streams []*lustre.Stream
+	}
+	shares := make(map[int]*ostShare)
+	var ostOrder []int
+	for _, rank := range c.order {
+		rl := c.logs[rank]
+		if rl.closed {
+			return fmt.Errorf("plfs: batch write with closed log (rank %d)", rank)
+		}
+		perOST := rl.data.Layout.BytesPerOST(perRankMB)
+		perStream := plat.PLFSRankMBs / float64(len(perOST))
+		for i, mb := range perOST {
+			if mb <= 0 {
+				continue
+			}
+			id := rl.data.Layout.OSTs[i]
+			sh := shares[id]
+			if sh == nil {
+				sh = &ostShare{}
+				shares[id] = sh
+				ostOrder = append(ostOrder, id)
+			}
+			sh.totalMB += mb
+			sh.maxRate += perStream
+			sh.streams = append(sh.streams,
+				c.sys.OST(id).AddStream(cluster.ClassLogAppend, rl.data.ID, transferMB))
+		}
+		rl.writtenMB += perRankMB
+		rl.records += int(perRankMB / transferMB)
+	}
+	var dones []*sim.Signal
+	for _, id := range ostOrder {
+		sh := shares[id]
+		ost := c.sys.OST(id)
+		streams := sh.streams
+		fl := c.sys.Net().StartFunc(
+			fmt.Sprintf("plfs-batch:%s:o%d", c.name, id),
+			sh.totalMB, sh.maxRate,
+			func() {
+				for _, st := range streams {
+					st.Remove()
+				}
+			},
+			c.sys.Backbone(), c.sys.OSSLink(ost.OSS()), ost.Link(),
+		)
+		dones = append(dones, fl.Done)
+	}
+	p.WaitAll(dones...)
+	return nil
+}
+
+// Read plays the data back: an index merge (in-memory, charged per record)
+// followed by sequential reads from the data log's OSTs. The paper's
+// experiments are write-only; Read exists for API completeness and the
+// read-back examples.
+func (rl *RankLog) Read(p *sim.Proc, node int, sizeMB float64) error {
+	if sizeMB <= 0 {
+		return nil
+	}
+	// Index record lookup: ~1 µs per record, linear merge.
+	p.Sleep(float64(rl.records) * 1e-6)
+	shares := rl.data.Layout.BytesPerOST(sizeMB)
+	var dones []*sim.Signal
+	for i, mb := range shares {
+		if mb <= 0 {
+			continue
+		}
+		ost := rl.c.sys.OST(rl.data.Layout.OSTs[i])
+		f := rl.c.sys.StartWrite(
+			fmt.Sprintf("plfs-read:%s:r%d:o%d", rl.c.name, rl.rank, ost.ID()),
+			mb, ost, lustre.WriteOpts{
+				Node:   node,
+				Class:  cluster.ClassSequential,
+				FileID: rl.data.ID,
+				RPCMB:  rl.data.Layout.SizeMB,
+			})
+		dones = append(dones, f.Done)
+	}
+	p.WaitAll(dones...)
+	return nil
+}
+
+// Close flushes the rank's index log (one metadata operation).
+func (rl *RankLog) Close(p *sim.Proc) {
+	if rl.closed {
+		return
+	}
+	rl.closed = true
+	rl.c.sys.MDS().Stat(p)
+}
+
+// Ranks returns the number of opened rank logs.
+func (c *Container) Ranks() int { return len(c.logs) }
+
+// IndexRecords sums index records across ranks.
+func (c *Container) IndexRecords() int {
+	total := 0
+	for _, rl := range c.logs {
+		total += rl.records
+	}
+	return total
+}
+
+// Assignment exposes the realised backend layout as a core.Assignment so
+// the paper's collision statistics (Tables VIII and IX) can be computed
+// from an actual simulated run: entry j holds the OSTs of the j-th opened
+// rank's data log.
+func (c *Container) Assignment() core.Assignment {
+	a := core.Assignment{
+		Dtotal:  c.sys.NumOSTs(),
+		JobOSTs: make([][]int, 0, len(c.order)),
+	}
+	for _, rank := range c.order {
+		layout := c.logs[rank].data.Layout
+		osts := make([]int, len(layout.OSTs))
+		copy(osts, layout.OSTs)
+		a.JobOSTs = append(a.JobOSTs, osts)
+	}
+	return a
+}

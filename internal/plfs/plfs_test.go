@@ -1,0 +1,245 @@
+package plfs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/lustre"
+	"pfsim/internal/sim"
+	"pfsim/internal/stats"
+)
+
+func testSys(t *testing.T) (*sim.Engine, *lustre.System) {
+	t.Helper()
+	plat := cluster.Cab()
+	plat.JitterCV = 0
+	eng := sim.NewEngine()
+	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, sys
+}
+
+func TestContainerLifecycle(t *testing.T) {
+	eng, sys := testSys(t)
+	c := NewContainer(sys, "checkpoint")
+	const ranks = 8
+	var logs [ranks]*RankLog
+	eng.Spawn("rank0-meta", func(p *sim.Proc) { c.CreateMeta(p) })
+	for r := 0; r < ranks; r++ {
+		r := r
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			rl, err := c.OpenRank(p, r)
+			if err != nil {
+				t.Errorf("OpenRank(%d): %v", r, err)
+				return
+			}
+			logs[r] = rl
+			if err := rl.Write(p, r/16, 100, 1); err != nil {
+				t.Errorf("Write(%d): %v", r, err)
+			}
+			rl.Close(p)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ranks() != ranks {
+		t.Errorf("Ranks = %d, want %d", c.Ranks(), ranks)
+	}
+	for r, rl := range logs {
+		if rl.WrittenMB() != 100 {
+			t.Errorf("rank %d wrote %v MB", r, rl.WrittenMB())
+		}
+		if rl.Records() != 100 {
+			t.Errorf("rank %d has %d records, want 100", r, rl.Records())
+		}
+		if got := rl.Data().Layout.StripeCount(); got != 2 {
+			t.Errorf("rank %d data log has %d stripes, want system default 2", r, got)
+		}
+	}
+	if c.IndexRecords() != ranks*100 {
+		t.Errorf("index records = %d", c.IndexRecords())
+	}
+}
+
+func TestOpenStormSerializes(t *testing.T) {
+	eng, sys := testSys(t)
+	c := NewContainer(sys, "storm")
+	const ranks = 32
+	var lastOpen float64
+	eng.Spawn("meta", func(p *sim.Proc) { c.CreateMeta(p) })
+	for r := 0; r < ranks; r++ {
+		r := r
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			if _, err := c.OpenRank(p, r); err != nil {
+				t.Errorf("open %d: %v", r, err)
+			}
+			if p.Now() > lastOpen {
+				lastOpen = p.Now()
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 32 ranks × 2 creates × PLFSCreateTime serialized, plus MDS ops.
+	minExpected := float64(ranks) * 2 * sys.Platform().PLFSCreateTime
+	if lastOpen < minExpected {
+		t.Errorf("open storm finished at %v, want >= %v (serialized)", lastOpen, minExpected)
+	}
+	if lastOpen > 2*minExpected {
+		t.Errorf("open storm took %v, suspiciously long vs %v", lastOpen, minExpected)
+	}
+}
+
+func TestDuplicateOpenRejected(t *testing.T) {
+	eng, sys := testSys(t)
+	c := NewContainer(sys, "dup")
+	eng.Spawn("meta", func(p *sim.Proc) { c.CreateMeta(p) })
+	eng.Spawn("rank", func(p *sim.Proc) {
+		if _, err := c.OpenRank(p, 3); err != nil {
+			t.Errorf("first open: %v", err)
+		}
+		if _, err := c.OpenRank(p, 3); err == nil {
+			t.Error("duplicate open accepted")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	eng, sys := testSys(t)
+	c := NewContainer(sys, "val")
+	eng.Spawn("meta", func(p *sim.Proc) { c.CreateMeta(p) })
+	eng.Spawn("rank", func(p *sim.Proc) {
+		rl, _ := c.OpenRank(p, 0)
+		if err := rl.Write(p, 0, -1, 1); err == nil {
+			t.Error("negative size accepted")
+		}
+		if err := rl.Write(p, 0, 10, 0); err == nil {
+			t.Error("zero transfer accepted")
+		}
+		if err := rl.Write(p, 0, 0, 1); err != nil {
+			t.Errorf("zero-size write should be a no-op: %v", err)
+		}
+		rl.Close(p)
+		rl.Close(p) // idempotent
+		if err := rl.Write(p, 0, 10, 1); err == nil {
+			t.Error("write after close accepted")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankRateCap(t *testing.T) {
+	// A single rank writing alone must sustain ~PLFSRankMBs, not the full
+	// OST bandwidth.
+	eng, sys := testSys(t)
+	c := NewContainer(sys, "solo")
+	var bw float64
+	eng.Spawn("meta", func(p *sim.Proc) { c.CreateMeta(p) })
+	eng.Spawn("rank", func(p *sim.Proc) {
+		rl, _ := c.OpenRank(p, 0)
+		start := p.Now()
+		if err := rl.Write(p, 0, 470, 1); err != nil {
+			t.Fatal(err)
+		}
+		bw = 470 / (p.Now() - start)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sys.Platform().PLFSRankMBs
+	if math.Abs(bw-want) > 0.02*want {
+		t.Errorf("solo rank bandwidth = %.1f, want ~%.1f", bw, want)
+	}
+}
+
+func TestSubdirHashing(t *testing.T) {
+	_, sys := testSys(t)
+	c := NewContainer(sys, "hash")
+	counts := make([]int, c.subdirs)
+	for r := 0; r < 320; r++ {
+		d := c.Subdir(r)
+		if d < 0 || d >= c.subdirs {
+			t.Fatalf("subdir %d out of range", d)
+		}
+		counts[d]++
+	}
+	for d, n := range counts {
+		if n != 10 {
+			t.Errorf("subdir %d holds %d ranks, want 10 (uniform)", d, n)
+		}
+	}
+	if c.Subdir(-5) < 0 {
+		t.Error("negative rank must still hash to a valid subdir")
+	}
+}
+
+func TestAssignmentMatchesEquation5(t *testing.T) {
+	// The realised container layout must track PLFSDinuse/PLFSLoad.
+	eng, sys := testSys(t)
+	c := NewContainer(sys, "eq5")
+	const ranks = 512
+	eng.Spawn("meta", func(p *sim.Proc) { c.CreateMeta(p) })
+	for r := 0; r < ranks; r++ {
+		r := r
+		eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			if _, err := c.OpenRank(p, r); err != nil {
+				t.Errorf("open: %v", err)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := c.Assignment()
+	if len(a.JobOSTs) != ranks {
+		t.Fatalf("assignment has %d ranks", len(a.JobOSTs))
+	}
+	// Paper Table VIII: Dinuse 418-433, Dload 2.36-2.45 across experiments.
+	inUse := float64(a.InUse())
+	if inUse < 410 || inUse > 440 {
+		t.Errorf("realised Dinuse = %v, want ~427", inUse)
+	}
+	if l := a.Load(); l < 2.3 || l > 2.5 {
+		t.Errorf("realised Dload = %v, want ~2.4", l)
+	}
+}
+
+func TestReadBack(t *testing.T) {
+	eng, sys := testSys(t)
+	c := NewContainer(sys, "rb")
+	eng.Spawn("meta", func(p *sim.Proc) { c.CreateMeta(p) })
+	var readTime float64
+	eng.Spawn("rank", func(p *sim.Proc) {
+		rl, _ := c.OpenRank(p, 0)
+		if err := rl.Write(p, 0, 94, 1); err != nil {
+			t.Fatal(err)
+		}
+		start := p.Now()
+		if err := rl.Read(p, 0, 94); err != nil {
+			t.Fatal(err)
+		}
+		readTime = p.Now() - start
+		if err := rl.Read(p, 0, 0); err != nil {
+			t.Errorf("zero read: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Read path is sequential-class and index-merge-dominated; it must be
+	// faster than the rank-capped write (94/47 = 2s).
+	if readTime <= 0 || readTime > 2 {
+		t.Errorf("read took %v, want (0, 2)", readTime)
+	}
+}

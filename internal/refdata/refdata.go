@@ -1,0 +1,163 @@
+// Package refdata records the numbers published in Wright & Jarvis,
+// "Quantifying the Effects of Contention on Parallel File Systems"
+// (IPDPSW 2015), so every reproduction can print paper-vs-measured
+// comparisons. Values are transcribed from the paper's tables; figure
+// values are the ones quoted in the text.
+package refdata
+
+// Figure1 headline numbers (Section IV).
+var Figure1 = struct {
+	DefaultMBs     float64 // stripe count 2, stripe size 1 MB
+	SizeTunedMBs   float64 // best varying stripe size only
+	CountTunedMBs  float64 // best varying stripe count only (160 × 1 MB)
+	BestMBs        float64 // 160 stripes × 128 MB
+	BestCount      int
+	BestSizeMB     float64
+	SpeedupFactor  float64
+	SweepCounts    []int
+	SweepSizesMB   []float64
+	ProcessorCount int
+}{
+	DefaultMBs:     313,
+	SizeTunedMBs:   395,
+	CountTunedMBs:  4075,
+	BestMBs:        15609,
+	BestCount:      160,
+	BestSizeMB:     128,
+	SpeedupFactor:  49,
+	SweepCounts:    []int{8, 16, 32, 64, 128, 160},
+	SweepSizesMB:   []float64{32, 64, 128, 256},
+	ProcessorCount: 1024,
+}
+
+// LoadRow is one row of the analytic load tables.
+type LoadRow struct {
+	Jobs   int
+	Dinuse float64
+	Dreq   int
+	Dload  float64
+}
+
+// TableIII: lscratchc, R = 160.
+var TableIII = []LoadRow{
+	{1, 160.00, 160, 1.00}, {2, 266.67, 320, 1.20}, {3, 337.78, 480, 1.42},
+	{4, 385.19, 640, 1.66}, {5, 416.79, 800, 1.92}, {6, 437.86, 960, 2.19},
+	{7, 451.91, 1120, 2.48}, {8, 461.27, 1280, 2.78}, {9, 467.51, 1440, 3.08},
+	{10, 471.68, 1600, 3.39},
+}
+
+// TableIV: lscratchc, R = 64.
+var TableIV = []LoadRow{
+	{1, 64.00, 64, 1.00}, {2, 119.47, 128, 1.07}, {3, 167.54, 192, 1.15},
+	{4, 209.20, 256, 1.22}, {5, 245.31, 320, 1.30}, {6, 276.60, 384, 1.39},
+	{7, 303.72, 448, 1.48}, {8, 327.22, 512, 1.57}, {9, 347.59, 576, 1.66},
+	{10, 365.25, 640, 1.75},
+}
+
+// TableVI: Stampede (Dtotal = 160), R = 128.
+var TableVI = []LoadRow{
+	{1, 128.00, 128, 1.00}, {2, 153.60, 256, 1.67}, {3, 158.72, 384, 2.42},
+	{4, 159.74, 512, 3.21}, {5, 159.95, 640, 4.00}, {6, 159.99, 768, 4.80},
+	{7, 160.00, 896, 5.60}, {8, 160.00, 1024, 6.40}, {9, 160.00, 1152, 7.20},
+	{10, 160.00, 1280, 8.00},
+}
+
+// TableVRow is one row of Table V: four contending jobs at stripe request
+// R, with the empirical OST sharing histogram and predicted/actual
+// Dinuse/Dload.
+type TableVRow struct {
+	R              int
+	AvgMBs         float64 // mean per-job bandwidth
+	TotalMBs       float64 // all four jobs
+	Dreq           int
+	Usage          [4]float64 // OSTs used by exactly 1..4 jobs (measured)
+	PredictedInUse float64
+	PredictedLoad  float64
+	ActualInUse    float64
+	ActualLoad     float64
+}
+
+// TableV: contended stripe-request sweep (five-repetition means).
+var TableV = []TableVRow{
+	{32, 3654.06, 14616.24, 128, [4]float64{103.2, 11.2, 0.8, 0.0}, 115.76, 1.11, 115.20, 1.11},
+	{64, 3910.51, 15642.03, 256, [4]float64{172.6, 35.8, 3.4, 0.4}, 209.20, 1.22, 212.20, 1.21},
+	{96, 4042.98, 16171.92, 384, [4]float64{199.4, 76.4, 9.8, 0.6}, 283.39, 1.36, 286.20, 1.34},
+	{128, 4172.17, 16688.66, 512, [4]float64{211.6, 111.4, 22.4, 2.6}, 341.18, 1.50, 348.00, 1.47},
+	{160, 4541.37, 18165.46, 640, [4]float64{191.8, 147.0, 41.8, 7.2}, 385.19, 1.66, 387.80, 1.65},
+}
+
+// Figure3MBs is the approximate per-task bandwidth of the four
+// simultaneous tuned IOR tasks (Section V: "each individual application
+// achieved approximately 4,500 MB/s — a 3.44× reduction").
+const Figure3MBs = 4500
+
+// Figure3ReductionFactor is the quoted reduction from the solo peak.
+const Figure3ReductionFactor = 3.44
+
+// TableVIIRow is one row of Table VII: IOR bandwidth through ad_lustre
+// and ad_plfs with 95% confidence intervals.
+type TableVIIRow struct {
+	Procs                         int
+	LustreMBs, LustreLo, LustreHi float64
+	PLFSMBs, PLFSLo, PLFSHi       float64
+}
+
+// TableVII: the Figure 5 series.
+var TableVII = []TableVIIRow{
+	{16, 403.75, 390.73, 416.77, 752.96, 398.41, 1107.51},
+	{32, 404.71, 393.09, 416.34, 727.33, 558.95, 895.70},
+	{64, 857.35, 832.82, 881.88, 1776.70, 648.90, 2904.50},
+	{128, 1987.51, 1908.24, 2066.78, 3814.62, 1375.19, 6254.05},
+	{256, 4354.98, 4288.69, 4421.27, 7126.88, 4159.66, 10094.10},
+	{512, 8985.14, 8777.61, 9192.66, 10723.42, 9947.06, 11499.77},
+	{1024, 13859.58, 12582.68, 15136.47, 8575.13, 8474.06, 8676.21},
+	{2048, 16200.16, 15441.57, 16958.74, 5696.41, 5604.86, 5787.97},
+	{4096, 16917.11, 16291.58, 17542.64, 3069.05, 3052.82, 3085.28},
+}
+
+// CollisionTable holds one of the PLFS backend collision tables: for each
+// of five experiments, counts[c] is the number of in-use OSTs with c
+// collisions (c+1 resident stripes), plus the realised Dinuse/Dload and
+// bandwidth.
+type CollisionTable struct {
+	Procs      int
+	Collisions [][]float64 // [experiment][collision count]
+	Dinuse     []float64
+	Dload      []float64
+	MBs        []float64
+}
+
+// TableVIII: PLFS at 512 processes.
+var TableVIII = CollisionTable{
+	Procs: 512,
+	Collisions: [][]float64{
+		{121, 134, 97, 49, 21, 6, 1, 0, 0},
+		{135, 126, 88, 55, 22, 6, 1, 0, 0},
+		{122, 134, 85, 56, 21, 6, 2, 0, 0},
+		{116, 129, 94, 45, 20, 12, 1, 0, 1},
+		{129, 133, 82, 54, 28, 2, 1, 1, 0},
+	},
+	Dinuse: []float64{429, 433, 426, 418, 430},
+	Dload:  []float64{2.39, 2.36, 2.40, 2.45, 2.38},
+	MBs:    []float64{12062.68, 10469.38, 10234.97, 9768.07, 11081.99},
+}
+
+// TableIXDload is the uniform realised load of the 4,096-process PLFS runs
+// (all 480 OSTs in use; 8,192 stripes).
+const TableIXDload = 17.07
+
+// TableIXMBs are the bandwidths of the five 4,096-process experiments.
+var TableIXMBs = []float64{3042.06, 3077.16, 3083.26, 3084.89, 3057.90}
+
+// Figure2 describes the single-OST contention benchmark: per-process
+// bandwidth starts at ~288 MB/s for one writer and follows just under the
+// 1/k fair-share line; by three or more contended jobs the overhead is
+// noticeable (Section V).
+var Figure2 = struct {
+	SingleWriterMBs float64
+	MaxJobs         int
+}{288, 16}
+
+// PLFSGoodLoadThreshold is the OST load the paper still calls "good"
+// performance for PLFS (3 tasks per OST, reached at 688 cores).
+const PLFSGoodLoadThreshold = 3.0

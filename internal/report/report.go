@@ -1,0 +1,194 @@
+// Package report renders experiment output: aligned text tables, Markdown
+// tables, CSV series and simple ASCII charts. Every table and figure of
+// the reproduced paper is printed through this package so that cmd tools,
+// benchmarks and EXPERIMENTS.md share one formatting path.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells render with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals, small
+// values with two.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Markdown writes the table as GitHub-flavoured Markdown.
+func (t *Table) Markdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values (quoting cells that need
+// it).
+func (t *Table) CSV(w io.Writer) {
+	writeCSVRow(w, t.Headers)
+	for _, row := range t.rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		out[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(out, ","))
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Bars renders a horizontal ASCII bar chart: one bar per (label, value),
+// scaled to maxWidth characters — a terminal rendition of the paper's bar
+// figures.
+func Bars(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	if len(labels) != len(values) || len(values) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	for i, l := range labels {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(values[i] / maxVal * float64(maxWidth)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %s  %s %s\n", pad(l, maxLabel), strings.Repeat("#", n), formatFloat(values[i]))
+	}
+}
+
+// Series renders an x/y line as "x y" pairs suitable for plotting tools,
+// one per line, prefixed by a # header — the figure-series export format.
+func Series(w io.Writer, name string, xs, ys []float64) {
+	fmt.Fprintf(w, "# %s\n", name)
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%g %g\n", xs[i], ys[i])
+	}
+}
+
+// Ratio formats a/b as "N.N×", guarding division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "∞×"
+	}
+	return fmt.Sprintf("%.1f×", a/b)
+}

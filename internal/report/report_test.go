@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tab := NewTable("Demo", "Jobs", "Dinuse", "Dload")
+	tab.AddRow(1, 160.0, 1.0)
+	tab.AddRow(10, 471.68, 3.39)
+	out := tab.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "471.68") {
+		t.Errorf("missing float cell:\n%s", out)
+	}
+	if !strings.Contains(out, "160") || strings.Contains(out, "160.00") {
+		t.Errorf("whole floats should render without decimals:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, headers, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("T", "A", "B")
+	tab.AddRow("x", 1.5)
+	var b strings.Builder
+	tab.Markdown(&b)
+	out := b.String()
+	if !strings.Contains(out, "### T") || !strings.Contains(out, "| A | B |") ||
+		!strings.Contains(out, "| --- | --- |") || !strings.Contains(out, "| x | 1.50 |") {
+		t.Errorf("markdown malformed:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "name", "value")
+	tab.AddRow("plain", 1)
+	tab.AddRow("with,comma", 2)
+	tab.AddRow(`with"quote`, 3)
+	var b strings.Builder
+	tab.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, "name,value") {
+		t.Error("missing header row")
+	}
+	if !strings.Contains(out, `"with,comma",2`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"with""quote",3`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "BW", []string{"a", "bb"}, []float64{50, 100}, 10)
+	out := b.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+	var empty strings.Builder
+	Bars(&empty, "x", nil, nil, 10)
+	if !strings.Contains(empty.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	var mismatched strings.Builder
+	Bars(&mismatched, "x", []string{"a"}, []float64{1, 2}, 10)
+	if !strings.Contains(mismatched.String(), "no data") {
+		t.Error("mismatched lengths should be rejected")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "lustre", []float64{16, 32}, []float64{403.75, 404.71})
+	out := b.String()
+	if !strings.Contains(out, "# lustre") || !strings.Contains(out, "16 403.75") {
+		t.Errorf("series malformed:\n%s", out)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(49, 1); got != "49.0×" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "∞×" {
+		t.Errorf("Ratio by zero = %q", got)
+	}
+}

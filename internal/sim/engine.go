@@ -1,0 +1,168 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// pfsim. Virtual time is a float64 number of seconds. Events fire in
+// (time, sequence) order, so simulations are fully deterministic. On top of
+// the raw event queue the package offers coroutine-style processes (Proc):
+// each process is a goroutine, but exactly one goroutine — the engine or a
+// single process — runs at any instant, with control transferred explicitly.
+// This gives natural blocking APIs (Sleep, Wait, Acquire) without
+// introducing any scheduling nondeterminism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        float64
+	seq       int64
+	index     int // heap index, -1 when not queued
+	fn        func()
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (ev *Event) Time() float64 { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     float64
+	events  eventHeap
+	seq     int64
+	stopped bool
+
+	yield   chan struct{} // handed a token when a proc returns control
+	procs   int           // live processes
+	blocked map[*Proc]string
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:   make(chan struct{}),
+		blocked: map[*Proc]string{},
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule queues fn to run after delay seconds (clamped at zero). It
+// returns the event so callers may cancel it.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if math.IsNaN(delay) {
+		panic("sim: scheduled with NaN delay")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time at (clamped to now).
+func (e *Engine) ScheduleAt(at float64, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel removes a pending event; cancelling a fired or already-cancelled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.events, ev.index)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue empties or Stop is called. It returns
+// an error if processes remain blocked with no pending events (a simulation
+// deadlock), listing the stuck processes.
+func (e *Engine) Run() error { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with fire time <= tmax. Virtual time never
+// exceeds tmax.
+func (e *Engine) RunUntil(tmax float64) error {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		if e.events[0].at > tmax {
+			e.now = tmax
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	if !e.stopped && len(e.blocked) > 0 {
+		names := make([]string, 0, len(e.blocked))
+		for _, n := range e.blocked {
+			names = append(names, n)
+		}
+		return fmt.Errorf("sim: deadlock at t=%.6f: %d blocked process(es): %v",
+			e.now, len(e.blocked), names)
+	}
+	return nil
+}
+
+// Pending reports the number of queued (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveProcs reports the number of processes that have started and not yet
+// finished.
+func (e *Engine) LiveProcs() int { return e.procs }

@@ -1,0 +1,196 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution interleaves
+// deterministically with the engine. Inside the body function, the blocking
+// methods (Sleep, Wait, Acquire via Resource) advance virtual time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn starts a new process at the current virtual time. The body runs
+// when the engine reaches the start event. Spawn may be called before Run
+// or from inside events and other processes.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			body(p)
+			p.done = true
+			e.procs--
+			e.yield <- struct{}{}
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// SpawnAfter starts a process after delay seconds of virtual time.
+func (e *Engine) SpawnAfter(delay float64, name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.Schedule(delay, func() {
+		go func() {
+			<-p.resume
+			body(p)
+			p.done = true
+			e.procs--
+			e.yield <- struct{}{}
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// transfer hands control to the process and blocks the engine until the
+// process yields (by sleeping, waiting, or finishing).
+func (p *Proc) transfer() {
+	p.resume <- struct{}{}
+	<-p.eng.yield
+}
+
+// yieldToEngine returns control to the engine and blocks the process until
+// it is resumed.
+func (p *Proc) yieldToEngine() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name (used in deadlock reports).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d seconds of virtual time (non-positive
+// durations yield to other events at the current time).
+func (p *Proc) Sleep(d float64) {
+	p.eng.Schedule(d, func() { p.transfer() })
+	p.yieldToEngine()
+}
+
+// Wait suspends the process until the signal fires. If the signal has
+// already fired it returns immediately without yielding.
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	key := fmt.Sprintf("%s (waiting %s)", p.name, s.name)
+	p.eng.blocked[p] = key
+	s.waiters = append(s.waiters, p)
+	p.yieldToEngine()
+}
+
+// WaitAll suspends the process until every signal has fired.
+func (p *Proc) WaitAll(sigs ...*Signal) {
+	for _, s := range sigs {
+		p.Wait(s)
+	}
+}
+
+// Signal is a one-shot broadcast: processes Wait on it, Fire wakes them all
+// at the current virtual time (in deterministic order). Waiting on an
+// already-fired signal does not block.
+type Signal struct {
+	eng     *Engine
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates a named signal on the engine.
+func (e *Engine) NewSignal(name string) *Signal {
+	return &Signal{eng: e, name: name}
+}
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire marks the signal fired and schedules every waiter to resume at the
+// current time. Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		proc := p
+		delete(s.eng.blocked, proc)
+		s.eng.Schedule(0, func() { proc.transfer() })
+	}
+}
+
+// Resource is a counted resource with a FIFO wait queue — used for servers
+// that admit a bounded number of concurrent operations (e.g. the Lustre
+// metadata server).
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	queue    []*Proc
+}
+
+// NewResource creates a resource admitting capacity concurrent holders.
+func (e *Engine) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+// Acquire blocks the process until a slot is free, FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	r.eng.blocked[p] = fmt.Sprintf("%s (queued on %s)", p.name, r.name)
+	p.yieldToEngine()
+	// Slot was transferred to us by Release.
+}
+
+// Release frees a slot, waking the head of the queue if any. The slot
+// transfers directly to the woken process, preserving FIFO fairness.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		delete(r.eng.blocked, next)
+		r.eng.Schedule(0, func() { next.transfer() })
+		return // slot stays accounted to the woken proc
+	}
+	r.inUse--
+}
+
+// InUse reports the number of held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Use acquires the resource, sleeps for service seconds, and releases —
+// the common pattern for a fixed-cost server operation.
+func (r *Resource) Use(p *Proc, service float64) {
+	r.Acquire(p)
+	p.Sleep(service)
+	r.Release()
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(2.0, func() { order = append(order, 3) })
+	e.Schedule(1.0, func() { order = append(order, 1) })
+	e.Schedule(1.0, func() { order = append(order, 2) }) // same time: FIFO by seq
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 2.0 {
+		t.Errorf("final time = %v, want 2", e.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5, func() {
+		e.Schedule(-3, func() { fired = true })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || e.Now() != 5 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestNaNDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on NaN delay")
+		}
+	}()
+	NewEngine().Schedule(math.NaN(), func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is fine
+	e.Cancel(nil)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	if err := e.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || e.Now() != 2.5 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Errorf("after full run fired=%v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Spawn("sleeper", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(1.5)
+		times = append(times, p.Now())
+		p.Sleep(0.5)
+		times = append(times, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1.5, 2.0}
+	for i, w := range want {
+		if times[i] != w {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], w)
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Errorf("live procs = %d", e.LiveProcs())
+	}
+}
+
+func TestSpawnAfter(t *testing.T) {
+	e := NewEngine()
+	start := -1.0
+	e.SpawnAfter(3, "late", func(p *Proc) { start = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 3 {
+		t.Errorf("start = %v, want 3", start)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i := 0; i < 20; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(float64(i % 5))
+				log = append(log, fmt.Sprintf("%s@%v", p.Name(), p.Now()))
+				p.Sleep(float64(i % 3))
+				log = append(log, fmt.Sprintf("%s@%v", p.Name(), p.Now()))
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Error("two identical runs diverged")
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("go")
+	var woke []string
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(s)
+			woke = append(woke, fmt.Sprintf("%s@%v", p.Name(), p.Now()))
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(2)
+		s.Fire()
+		s.Fire() // double fire ok
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke = %v", woke)
+	}
+	for _, w := range woke {
+		if !strings.HasSuffix(w, "@2") {
+			t.Errorf("waiter woke at wrong time: %s", w)
+		}
+	}
+	// Waiting on an already-fired signal returns immediately.
+	late := false
+	e.Spawn("late", func(p *Proc) {
+		p.Wait(s)
+		late = true
+		if p.Now() != 2 {
+			t.Errorf("late waiter at %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !late {
+		t.Error("late waiter never ran")
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEngine()
+	s1, s2 := e.NewSignal("a"), e.NewSignal("b")
+	done := -1.0
+	e.Spawn("waiter", func(p *Proc) {
+		p.WaitAll(s1, s2)
+		done = p.Now()
+	})
+	e.Spawn("f1", func(p *Proc) { p.Sleep(1); s1.Fire() })
+	e.Spawn("f2", func(p *Proc) { p.Sleep(3); s2.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Errorf("WaitAll completed at %v, want 3", done)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("never")
+	e.Spawn("stuck", func(p *Proc) { p.Wait(s) })
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("deadlock error should name the process: %v", err)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("disk", 1)
+	var order []string
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			p.Sleep(float64(i) * 0.001) // stagger arrivals
+			r.Acquire(p)
+			order = append(order, fmt.Sprintf("%s@%.3f", p.Name(), p.Now()))
+			p.Sleep(1)
+			r.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	want := []string{"c0@0.000", "c1@1.000", "c2@2.000"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Errorf("order[%d] = %s, want %s", i, order[i], w)
+		}
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Errorf("resource not drained: inUse=%d queue=%d", r.InUse(), r.QueueLen())
+	}
+}
+
+func TestResourceConcurrency(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("server", 3)
+	finish := map[string]float64{}
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			r.Use(p, 1)
+			finish[p.Name()] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First three run [0,1], second three [1,2].
+	for i := 0; i < 6; i++ {
+		want := 1.0
+		if i >= 3 {
+			want = 2.0
+		}
+		if got := finish[fmt.Sprintf("c%d", i)]; got != want {
+			t.Errorf("c%d finished at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestResourcePanics(t *testing.T) {
+	e := NewEngine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic for capacity 0")
+			}
+		}()
+		e.NewResource("bad", 0)
+	}()
+	r := e.NewResource("ok", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for idle release")
+		}
+	}()
+	r.Release()
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEngine()
+	var childTime float64
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		done := e.NewSignal("child-done")
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(2)
+			childTime = c.Now()
+			done.Fire()
+		})
+		p.Wait(done)
+		if p.Now() != 3 {
+			t.Errorf("parent resumed at %v, want 3", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 3 {
+		t.Errorf("child finished at %v, want 3", childTime)
+	}
+}
+
+func TestProcDone(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn("quick", func(p *Proc) {})
+	if p.Done() {
+		t.Error("done before run")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Error("not done after run")
+	}
+	if p.Engine() != e {
+		t.Error("Engine() mismatch")
+	}
+}

@@ -1,0 +1,264 @@
+// Package sweep searches the Lustre configuration space for optimal IOR
+// bandwidth: the exhaustive grid search used in Section IV of the paper
+// (stripe count × stripe size, Figure 1) and, as an extension, the
+// genetic-algorithm tuner of Behzad et al. [5] that the paper cites as
+// its inspiration.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+	"pfsim/internal/stats"
+)
+
+// Point is one sampled configuration with its measured bandwidth.
+type Point struct {
+	StripeCount  int
+	StripeSizeMB float64
+	MBs          float64
+}
+
+// Grid is the result of an exhaustive sweep.
+type Grid struct {
+	Counts  []int
+	SizesMB []float64
+	// MBs[i][j] is the bandwidth at Counts[i] × SizesMB[j].
+	MBs [][]float64
+}
+
+// Best returns the best-performing grid point.
+func (g *Grid) Best() Point {
+	best := Point{MBs: -1}
+	for i, c := range g.Counts {
+		for j, s := range g.SizesMB {
+			if g.MBs[i][j] > best.MBs {
+				best = Point{StripeCount: c, StripeSizeMB: s, MBs: g.MBs[i][j]}
+			}
+		}
+	}
+	return best
+}
+
+// At returns the bandwidth at a grid coordinate.
+func (g *Grid) At(count int, sizeMB float64) (float64, bool) {
+	for i, c := range g.Counts {
+		if c != count {
+			continue
+		}
+		for j, s := range g.SizesMB {
+			if s == sizeMB {
+				return g.MBs[i][j], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Tasks is the IOR process count (the paper uses 1,024).
+	Tasks int
+	// Reps per configuration (the sweep uses fewer than headline runs).
+	Reps int
+	// Base overrides the IOR workload (zero value: Table II settings).
+	Base *ior.Config
+}
+
+func (o Options) baseConfig() ior.Config {
+	if o.Base != nil {
+		return *o.Base
+	}
+	cfg := ior.PaperConfig(o.Tasks)
+	cfg.Reps = o.Reps
+	return cfg
+}
+
+// Exhaustive measures every (count, size) combination — the linear search
+// of Section IV.
+func Exhaustive(plat *cluster.Platform, counts []int, sizesMB []float64, opt Options) (*Grid, error) {
+	if opt.Tasks <= 0 {
+		return nil, fmt.Errorf("sweep: Tasks must be positive")
+	}
+	if opt.Reps <= 0 {
+		opt.Reps = 1
+	}
+	g := &Grid{Counts: counts, SizesMB: sizesMB, MBs: make([][]float64, len(counts))}
+	for i, count := range counts {
+		g.MBs[i] = make([]float64, len(sizesMB))
+		for j, size := range sizesMB {
+			bw, err := measure(plat, count, size, opt)
+			if err != nil {
+				return nil, err
+			}
+			g.MBs[i][j] = bw
+		}
+	}
+	return g, nil
+}
+
+func measure(plat *cluster.Platform, count int, sizeMB float64, opt Options) (float64, error) {
+	cfg := opt.baseConfig()
+	cfg.Reps = opt.Reps
+	cfg.Label = fmt.Sprintf("sweep-c%d-s%g", count, sizeMB)
+	cfg.Hints.StripingFactor = count
+	cfg.Hints.StripingUnitMB = sizeMB
+	res, err := ior.Run(plat, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: %d×%gMB: %w", count, sizeMB, err)
+	}
+	return res.Write.Mean(), nil
+}
+
+// GAOptions tunes the genetic search.
+type GAOptions struct {
+	Options
+	// Population size per generation (Behzad et al. use small populations
+	// of tens of individuals).
+	Population int
+	// Generations to evolve.
+	Generations int
+	// MutationRate is the per-gene mutation probability.
+	MutationRate float64
+	// Seed makes the search deterministic.
+	Seed uint64
+	// Counts/SizesMB are the gene alphabets (defaults: powers of two up
+	// to the platform limits).
+	Counts  []int
+	SizesMB []float64
+}
+
+func (o *GAOptions) defaults(plat *cluster.Platform) {
+	if o.Population <= 0 {
+		o.Population = 8
+	}
+	if o.Generations <= 0 {
+		o.Generations = 5
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.2
+	}
+	if len(o.Counts) == 0 {
+		for c := 1; c <= plat.MaxStripeCount; c *= 2 {
+			o.Counts = append(o.Counts, c)
+		}
+		if last := o.Counts[len(o.Counts)-1]; last != plat.MaxStripeCount {
+			o.Counts = append(o.Counts, plat.MaxStripeCount)
+		}
+	}
+	if len(o.SizesMB) == 0 {
+		for s := 1.0; s <= 256; s *= 2 {
+			o.SizesMB = append(o.SizesMB, s)
+		}
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+}
+
+// GAResult reports the evolved best point and the evaluation count, for
+// comparing search cost against the exhaustive sweep.
+type GAResult struct {
+	Best        Point
+	Evaluations int
+	// History holds the best bandwidth after each generation.
+	History []float64
+}
+
+// Genetic runs a small genetic algorithm over the configuration space, in
+// the spirit of Behzad et al. [5]: tournament selection, single-point
+// crossover on the (count, size) genome, per-gene mutation. Fitness
+// evaluations are memoised, so Evaluations counts distinct simulated
+// configurations.
+func Genetic(plat *cluster.Platform, opt GAOptions) (*GAResult, error) {
+	if opt.Tasks <= 0 {
+		return nil, fmt.Errorf("sweep: Tasks must be positive")
+	}
+	opt.defaults(plat)
+	rng := stats.NewRNG(opt.Seed + 0x6a)
+	type genome struct{ ci, si int }
+	cache := map[genome]float64{}
+	evals := 0
+	fitness := func(g genome) (float64, error) {
+		if bw, ok := cache[g]; ok {
+			return bw, nil
+		}
+		bw, err := measure(plat, opt.Counts[g.ci], opt.SizesMB[g.si], opt.Options)
+		if err != nil {
+			return 0, err
+		}
+		cache[g] = bw
+		evals++
+		return bw, nil
+	}
+
+	pop := make([]genome, opt.Population)
+	for i := range pop {
+		pop[i] = genome{rng.IntN(len(opt.Counts)), rng.IntN(len(opt.SizesMB))}
+	}
+	res := &GAResult{Best: Point{MBs: -1}}
+	for gen := 0; gen < opt.Generations; gen++ {
+		scores := make([]float64, len(pop))
+		for i, g := range pop {
+			bw, err := fitness(g)
+			if err != nil {
+				return nil, err
+			}
+			scores[i] = bw
+			if bw > res.Best.MBs {
+				res.Best = Point{
+					StripeCount:  opt.Counts[g.ci],
+					StripeSizeMB: opt.SizesMB[g.si],
+					MBs:          bw,
+				}
+			}
+		}
+		res.History = append(res.History, res.Best.MBs)
+		// Tournament selection + crossover + mutation.
+		next := make([]genome, 0, len(pop))
+		// Elitism: keep the best individual.
+		bestIdx := 0
+		for i, s := range scores {
+			if s > scores[bestIdx] {
+				bestIdx = i
+			}
+		}
+		next = append(next, pop[bestIdx])
+		tournament := func() genome {
+			a, b := rng.IntN(len(pop)), rng.IntN(len(pop))
+			if scores[a] >= scores[b] {
+				return pop[a]
+			}
+			return pop[b]
+		}
+		for len(next) < len(pop) {
+			pa, pb := tournament(), tournament()
+			child := genome{pa.ci, pb.si} // single-point crossover
+			if rng.Float64() < opt.MutationRate {
+				child.ci = rng.IntN(len(opt.Counts))
+			}
+			if rng.Float64() < opt.MutationRate {
+				child.si = rng.IntN(len(opt.SizesMB))
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	res.Evaluations = evals
+	return res, nil
+}
+
+// CountsUpTo returns the paper's Figure 1 stripe-count axis for a
+// platform: powers of two from 8, capped and terminated at the stripe
+// limit.
+func CountsUpTo(plat *cluster.Platform) []int {
+	var out []int
+	for c := 8; c < plat.MaxStripeCount; c *= 2 {
+		out = append(out, c)
+	}
+	out = append(out, plat.MaxStripeCount)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"testing"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+)
+
+func quietCab() *cluster.Platform {
+	p := cluster.Cab()
+	p.JitterCV = 0
+	return p
+}
+
+// smallBase keeps sweep tests fast: fewer segments, fewer tasks.
+func smallBase(tasks int) *ior.Config {
+	cfg := ior.PaperConfig(tasks)
+	cfg.SegmentCount = 10
+	cfg.Reps = 1
+	return &cfg
+}
+
+func TestExhaustiveFindsPaperOptimum(t *testing.T) {
+	plat := quietCab()
+	counts := []int{8, 32, 64, 128, 160}
+	sizes := []float64{1, 32, 64, 128, 256}
+	g, err := Exhaustive(plat, counts, sizes, Options{
+		Tasks: 1024, Reps: 1, Base: smallBase(1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := g.Best()
+	if best.StripeCount != 160 || best.StripeSizeMB != 128 {
+		t.Errorf("best = %d × %v MB, paper found 160 × 128 MB (%.0f MB/s grid)",
+			best.StripeCount, best.StripeSizeMB, best.MBs)
+	}
+	// The 1 MB column must be far below the optimum at max stripe count.
+	oneMB, ok := g.At(160, 1)
+	if !ok {
+		t.Fatal("grid missing 160×1")
+	}
+	if oneMB > best.MBs/2 {
+		t.Errorf("160×1MB (%.0f) should trail the optimum (%.0f) badly", oneMB, best.MBs)
+	}
+}
+
+func TestExhaustiveMonotoneInCount(t *testing.T) {
+	plat := quietCab()
+	g, err := Exhaustive(plat, []int{8, 16, 32, 64}, []float64{128}, Options{
+		Tasks: 1024, Reps: 1, Base: smallBase(1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, c := range g.Counts {
+		if g.MBs[i][0] <= prev {
+			t.Errorf("count %d: %.0f MB/s not above previous %.0f", c, g.MBs[i][0], prev)
+		}
+		prev = g.MBs[i][0]
+	}
+}
+
+func TestGridAt(t *testing.T) {
+	g := &Grid{Counts: []int{2, 4}, SizesMB: []float64{1, 2},
+		MBs: [][]float64{{10, 20}, {30, 40}}}
+	if v, ok := g.At(4, 2); !ok || v != 40 {
+		t.Errorf("At(4,2) = %v,%v", v, ok)
+	}
+	if _, ok := g.At(3, 1); ok {
+		t.Error("At(3,1) should miss")
+	}
+	if _, ok := g.At(2, 7); ok {
+		t.Error("At(2,7) should miss")
+	}
+	best := g.Best()
+	if best.StripeCount != 4 || best.StripeSizeMB != 2 || best.MBs != 40 {
+		t.Errorf("Best = %+v", best)
+	}
+}
+
+func TestExhaustiveValidation(t *testing.T) {
+	if _, err := Exhaustive(quietCab(), []int{2}, []float64{1}, Options{}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+}
+
+func TestGeneticFindsGoodConfig(t *testing.T) {
+	plat := quietCab()
+	res, err := Genetic(plat, GAOptions{
+		Options:     Options{Tasks: 256, Reps: 1, Base: smallBase(256)},
+		Population:  6,
+		Generations: 4,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GA should find a configuration well above the default (~313) and
+	// use fewer evaluations than the 13×9 full grid.
+	if res.Best.MBs < 2000 {
+		t.Errorf("GA best = %.0f MB/s, should comfortably beat the default", res.Best.MBs)
+	}
+	if res.Evaluations >= 13*9 {
+		t.Errorf("GA used %d evaluations, should be below the full grid", res.Evaluations)
+	}
+	if len(res.History) != 4 {
+		t.Errorf("history length = %d", len(res.History))
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Error("GA best-so-far must be non-decreasing (elitism)")
+		}
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	plat := quietCab()
+	run := func() Point {
+		res, err := Genetic(plat, GAOptions{
+			Options:     Options{Tasks: 64, Reps: 1, Base: smallBase(64)},
+			Population:  4,
+			Generations: 2,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("GA not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGeneticValidation(t *testing.T) {
+	if _, err := Genetic(quietCab(), GAOptions{}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+}
+
+func TestCountsUpTo(t *testing.T) {
+	got := CountsUpTo(quietCab())
+	want := []int{8, 16, 32, 64, 128, 160}
+	if len(got) != len(want) {
+		t.Fatalf("counts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package trace records what a simulation did: every transfer's lifetime
+// and achieved bandwidth, per-link carried volume, and a coarse timeline
+// of aggregate throughput. It plays the role that application I/O tracing
+// tools (such as the authors' RIOT framework, refs [16,17] of the paper)
+// play on real systems: explaining *why* a run achieved the bandwidth it
+// did. Install a Recorder on a flow network before running the engine,
+// then query or export the trace.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pfsim/internal/flow"
+)
+
+// Record is one completed transfer.
+type Record struct {
+	Name    string
+	Start   float64 // virtual seconds
+	End     float64
+	SizeMB  float64
+	MeanMBs float64 // SizeMB / (End-Start); 0 for instantaneous flows
+}
+
+// Recorder captures flow lifecycles from a network. The zero value is
+// ready to use after Attach.
+type Recorder struct {
+	records []Record
+	open    int
+	maxOpen int
+}
+
+// Attach installs the recorder on a network (replacing any observer).
+func (r *Recorder) Attach(n *flow.Net) { n.Observe(r) }
+
+// FlowStarted implements flow.Observer.
+func (r *Recorder) FlowStarted(*flow.Flow) {
+	r.open++
+	if r.open > r.maxOpen {
+		r.maxOpen = r.open
+	}
+}
+
+// FlowFinished implements flow.Observer.
+func (r *Recorder) FlowFinished(f *flow.Flow) {
+	r.open--
+	rec := Record{
+		Name:   f.Name(),
+		Start:  f.Started(),
+		End:    f.FinishedAt(),
+		SizeMB: f.Size(),
+	}
+	if d := rec.End - rec.Start; d > 0 {
+		rec.MeanMBs = rec.SizeMB / d
+	}
+	r.records = append(r.records, rec)
+}
+
+// Records returns the completed transfers in completion order.
+func (r *Recorder) Records() []Record {
+	out := make([]Record, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// Len returns the number of completed transfers.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// MaxConcurrent returns the peak number of simultaneously open flows.
+func (r *Recorder) MaxConcurrent() int { return r.maxOpen }
+
+// TotalMB returns the volume moved by completed transfers.
+func (r *Recorder) TotalMB() float64 {
+	sum := 0.0
+	for _, rec := range r.records {
+		sum += rec.SizeMB
+	}
+	return sum
+}
+
+// Makespan returns the span from the first start to the last completion
+// (0 when empty).
+func (r *Recorder) Makespan() (start, end float64) {
+	if len(r.records) == 0 {
+		return 0, 0
+	}
+	start, end = r.records[0].Start, r.records[0].End
+	for _, rec := range r.records[1:] {
+		if rec.Start < start {
+			start = rec.Start
+		}
+		if rec.End > end {
+			end = rec.End
+		}
+	}
+	return start, end
+}
+
+// Slowest returns the n transfers with the lowest mean bandwidth — the
+// stragglers that explain a contended run's tail.
+func (r *Recorder) Slowest(n int) []Record {
+	out := r.Records()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanMBs != out[j].MeanMBs {
+			return out[i].MeanMBs < out[j].MeanMBs
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// Timeline integrates aggregate achieved throughput over fixed buckets of
+// width dt seconds, from time 0 to the last completion. Each transfer
+// contributes its mean rate across its lifetime — a fluid approximation
+// consistent with the simulator itself.
+func (r *Recorder) Timeline(dt float64) []float64 {
+	if dt <= 0 || len(r.records) == 0 {
+		return nil
+	}
+	_, end := r.Makespan()
+	buckets := make([]float64, int(end/dt)+1)
+	for _, rec := range r.records {
+		if rec.End <= rec.Start {
+			continue
+		}
+		first := int(rec.Start / dt)
+		last := int(rec.End / dt)
+		for b := first; b <= last && b < len(buckets); b++ {
+			bStart := float64(b) * dt
+			bEnd := bStart + dt
+			overlap := minF(rec.End, bEnd) - maxF(rec.Start, bStart)
+			if overlap > 0 {
+				buckets[b] += rec.MeanMBs * overlap / dt
+			}
+		}
+	}
+	return buckets
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV exports the records as CSV (name,start,end,size_mb,mean_mbs).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "name,start_s,end_s,size_mb,mean_mbs"); err != nil {
+		return err
+	}
+	for _, rec := range r.records {
+		if _, err := fmt.Fprintf(w, "%s,%.6f,%.6f,%.3f,%.3f\n",
+			rec.Name, rec.Start, rec.End, rec.SizeMB, rec.MeanMBs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

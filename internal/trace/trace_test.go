@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pfsim/internal/flow"
+	"pfsim/internal/sim"
+)
+
+func build(t *testing.T) (*sim.Engine, *flow.Net, *Recorder) {
+	t.Helper()
+	e := sim.NewEngine()
+	n := flow.NewNet(e)
+	r := &Recorder{}
+	r.Attach(n)
+	return e, n, r
+}
+
+func TestRecorderCapturesFlows(t *testing.T) {
+	e, n, r := build(t)
+	l := n.NewLink("pipe", flow.Const(100))
+	n.Start("a", 1000, 0, l)
+	n.Start("b", 500, 0, l)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("records = %d", r.Len())
+	}
+	if r.TotalMB() != 1500 {
+		t.Errorf("total = %v", r.TotalMB())
+	}
+	if r.MaxConcurrent() != 2 {
+		t.Errorf("max concurrent = %d", r.MaxConcurrent())
+	}
+	start, end := r.Makespan()
+	if start != 0 || math.Abs(end-15) > 1e-9 {
+		t.Errorf("makespan = (%v,%v), want (0,15)", start, end)
+	}
+	// b finishes first (t=10, mean 50); a second (t=15, mean 66.7).
+	recs := r.Records()
+	if recs[0].Name != "b" || math.Abs(recs[0].MeanMBs-50) > 1e-9 {
+		t.Errorf("first record = %+v", recs[0])
+	}
+	if recs[1].Name != "a" || math.Abs(recs[1].MeanMBs-1000.0/15) > 1e-9 {
+		t.Errorf("second record = %+v", recs[1])
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	e, n, r := build(t)
+	fast := n.NewLink("fast", flow.Const(1000))
+	slow := n.NewLink("slow", flow.Const(10))
+	n.Start("quick", 100, 0, fast)
+	n.Start("laggard", 100, 0, slow)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	worst := r.Slowest(1)
+	if len(worst) != 1 || worst[0].Name != "laggard" {
+		t.Errorf("slowest = %+v", worst)
+	}
+	all := r.Slowest(99)
+	if len(all) != 2 {
+		t.Errorf("Slowest(99) = %d records", len(all))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	e, n, r := build(t)
+	l := n.NewLink("pipe", flow.Const(100))
+	n.Start("x", 1000, 0, l) // runs [0,10] at 100 MB/s
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tl := r.Timeline(1)
+	if len(tl) < 10 {
+		t.Fatalf("timeline buckets = %d", len(tl))
+	}
+	for b := 0; b < 10; b++ {
+		if math.Abs(tl[b]-100) > 1e-6 {
+			t.Errorf("bucket %d = %v, want 100", b, tl[b])
+		}
+	}
+	if r.Timeline(0) != nil {
+		t.Error("zero-dt timeline should be nil")
+	}
+	empty := &Recorder{}
+	if empty.Timeline(1) != nil {
+		t.Error("empty timeline should be nil")
+	}
+}
+
+func TestZeroSizeFlowRecorded(t *testing.T) {
+	e, n, r := build(t)
+	l := n.NewLink("pipe", flow.Const(100))
+	n.Start("empty", 0, 0, l)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("records = %d", r.Len())
+	}
+	if r.Records()[0].MeanMBs != 0 {
+		t.Errorf("instantaneous flow should have zero mean rate")
+	}
+	if r.MaxConcurrent() != 1 {
+		t.Errorf("max concurrent = %d", r.MaxConcurrent())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	e, n, r := build(t)
+	l := n.NewLink("pipe", flow.Const(100))
+	n.Start("x", 200, 0, l)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "name,start_s,end_s,size_mb,mean_mbs\n") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "x,0.000000,2.000000,200.000,100.000") {
+		t.Errorf("missing record:\n%s", out)
+	}
+}
+
+func TestMakespanEmpty(t *testing.T) {
+	r := &Recorder{}
+	if s, e := r.Makespan(); s != 0 || e != 0 {
+		t.Errorf("empty makespan = (%v,%v)", s, e)
+	}
+}

@@ -1,0 +1,172 @@
+// Package workload models the applications that motivate the paper:
+// long-running simulations that periodically checkpoint their state to the
+// parallel file system to survive node failures. It provides a
+// compute/checkpoint cycle model, optimal-interval analysis (Young's
+// approximation), and a multi-tenant job generator for contention studies
+// beyond the paper's fixed four-job scenario.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pfsim/internal/ior"
+	"pfsim/internal/mpiio"
+	"pfsim/internal/stats"
+)
+
+// Checkpoint describes a periodic checkpointing application.
+type Checkpoint struct {
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// StateMBPerRank is the checkpoint volume each rank owns.
+	StateMBPerRank float64
+	// ComputeSeconds is the useful compute time between checkpoints.
+	ComputeSeconds float64
+	// MTBFSeconds is the machine's mean time between failures.
+	MTBFSeconds float64
+}
+
+// TotalStateMB is the volume of one checkpoint.
+func (c Checkpoint) TotalStateMB() float64 {
+	return c.StateMBPerRank * float64(c.Ranks)
+}
+
+// WriteSeconds is the duration of one checkpoint at the given file system
+// bandwidth.
+func (c Checkpoint) WriteSeconds(mbs float64) float64 {
+	if mbs <= 0 {
+		return math.Inf(1)
+	}
+	return c.TotalStateMB() / mbs
+}
+
+// Efficiency is the fraction of wall-clock time spent computing when
+// checkpointing every ComputeSeconds at bandwidth mbs, ignoring failures:
+// compute / (compute + write).
+func (c Checkpoint) Efficiency(mbs float64) float64 {
+	w := c.WriteSeconds(mbs)
+	return c.ComputeSeconds / (c.ComputeSeconds + w)
+}
+
+// YoungInterval returns Young's approximation of the optimal checkpoint
+// interval: sqrt(2 * writeTime * MTBF). Faster checkpoints (higher
+// bandwidth) permit shorter intervals and lose less work per failure —
+// the link between the paper's I/O tuning and application throughput.
+func (c Checkpoint) YoungInterval(mbs float64) float64 {
+	w := c.WriteSeconds(mbs)
+	if math.IsInf(w, 1) || c.MTBFSeconds <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2 * w * c.MTBFSeconds)
+}
+
+// GoodputFraction estimates the fraction of time spent on useful work when
+// checkpointing at Young's interval with failures of rate 1/MTBF: each
+// cycle spends interval+write time, delivers interval of work, and each
+// failure wastes half an interval plus a restart (one write time).
+func (c Checkpoint) GoodputFraction(mbs float64) float64 {
+	w := c.WriteSeconds(mbs)
+	if math.IsInf(w, 1) {
+		return 0
+	}
+	tau := c.YoungInterval(mbs)
+	if math.IsInf(tau, 1) {
+		// No failures: pure compute/write duty cycle at the configured
+		// interval.
+		return c.ComputeSeconds / (c.ComputeSeconds + w)
+	}
+	cycle := tau + w
+	// Expected loss per unit time from failures: (tau/2 + w) / MTBF.
+	lossRate := (tau/2 + w) / c.MTBFSeconds
+	gross := tau / cycle
+	net := gross * (1 - lossRate)
+	if net < 0 {
+		return 0
+	}
+	return net
+}
+
+// IORConfig converts the checkpoint into an equivalent IOR workload: one
+// segment holding the rank's state, written collectively.
+func (c Checkpoint) IORConfig(api mpiio.Driver, hints mpiio.Hints) ior.Config {
+	return ior.Config{
+		Label:          fmt.Sprintf("checkpoint-%d", c.Ranks),
+		API:            api,
+		BlockSizeMB:    c.StateMBPerRank,
+		TransferSizeMB: math.Min(1, c.StateMBPerRank),
+		SegmentCount:   1,
+		NumTasks:       c.Ranks,
+		WriteFile:      true,
+		Collective:     true,
+		Hints:          hints,
+		Reps:           1,
+	}
+}
+
+// JobMix generates heterogeneous concurrent I/O jobs for contention
+// studies: job i requests Requests[i] stripes with Tasks[i] ranks.
+type JobMix struct {
+	Tasks    []int
+	Requests []int
+	SizesMB  []float64
+}
+
+// Uniform returns a mix of n identical jobs — the paper's scenario.
+func Uniform(n, tasks, request int, sizeMB float64) JobMix {
+	m := JobMix{}
+	for i := 0; i < n; i++ {
+		m.Tasks = append(m.Tasks, tasks)
+		m.Requests = append(m.Requests, request)
+		m.SizesMB = append(m.SizesMB, sizeMB)
+	}
+	return m
+}
+
+// Random draws n jobs with stripe requests and scales sampled from the
+// given candidate sets — a synthetic "average day" on a shared machine.
+func Random(rng *stats.RNG, n int, taskChoices, requestChoices []int, sizeMB float64) JobMix {
+	m := JobMix{}
+	for i := 0; i < n; i++ {
+		m.Tasks = append(m.Tasks, taskChoices[rng.IntN(len(taskChoices))])
+		m.Requests = append(m.Requests, requestChoices[rng.IntN(len(requestChoices))])
+		m.SizesMB = append(m.SizesMB, sizeMB)
+	}
+	return m
+}
+
+// Len returns the number of jobs in the mix.
+func (m JobMix) Len() int { return len(m.Tasks) }
+
+// Validate reports the first inconsistency.
+func (m JobMix) Validate() error {
+	if len(m.Tasks) != len(m.Requests) || len(m.Tasks) != len(m.SizesMB) {
+		return fmt.Errorf("workload: ragged job mix")
+	}
+	for i := range m.Tasks {
+		if m.Tasks[i] <= 0 || m.Requests[i] <= 0 || m.SizesMB[i] <= 0 {
+			return fmt.Errorf("workload: job %d has non-positive parameters", i)
+		}
+	}
+	return nil
+}
+
+// Configs materialises the mix as IOR configurations on disjoint node
+// ranges.
+func (m JobMix) Configs(coresPerNode int) ([]ior.Config, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var out []ior.Config
+	node := 0
+	for i := range m.Tasks {
+		cfg := ior.PaperConfig(m.Tasks[i])
+		cfg.Label = fmt.Sprintf("mix-job%d", i)
+		cfg.Hints.StripingFactor = m.Requests[i]
+		cfg.Hints.StripingUnitMB = m.SizesMB[i]
+		cfg.FirstNode = node
+		node += (m.Tasks[i] + coresPerNode - 1) / coresPerNode
+		out = append(out, cfg)
+	}
+	return out, nil
+}

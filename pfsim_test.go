@@ -1,0 +1,130 @@
+package pfsim
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end; deep behaviour is
+// covered by the internal package suites.
+
+func TestFacadeMetrics(t *testing.T) {
+	if got := Dinuse(480, 160, 4); math.Abs(got-385.19) > 0.01 {
+		t.Errorf("Dinuse = %v", got)
+	}
+	if got := Dload(480, 160, 4); math.Abs(got-1.66) > 0.01 {
+		t.Errorf("Dload = %v", got)
+	}
+	if got := PLFSLoad(480, 4096); math.Abs(got-17.07) > 0.01 {
+		t.Errorf("PLFSLoad = %v", got)
+	}
+	rec := DinuseRecurrence(480, []int{160, 160})
+	if math.Abs(rec[1]-266.67) > 0.01 {
+		t.Errorf("recurrence = %v", rec)
+	}
+	rows := LoadTable(Lscratchc(), 160, 10)
+	if len(rows) != 10 || rows[9].Dreq != 1600 {
+		t.Errorf("LoadTable wrong: %+v", rows[len(rows)-1])
+	}
+}
+
+func TestFacadePlanning(t *testing.T) {
+	if r := RecommendRequest(Lscratchc(), 4, 1.2, []int{32, 64, 160}); r != 32 {
+		t.Errorf("RecommendRequest = %d", r)
+	}
+	if n := MinOSTsForLoad(160, 4, 1.66); n < 470 || n > 490 {
+		t.Errorf("MinOSTsForLoad = %d", n)
+	}
+	if n := PLFSBreakEvenRanks(480, 3); n < 660 || n > 720 {
+		t.Errorf("PLFSBreakEvenRanks = %d", n)
+	}
+	q := Availability(Lscratchc(), 64, 4)
+	if q.FreeOSTs <= 0 || q.Load < 1 {
+		t.Errorf("Availability = %+v", q)
+	}
+}
+
+func TestFacadeRunIOR(t *testing.T) {
+	plat := Cab()
+	plat.JitterCV = 0
+	cfg := TunedIOR(256)
+	cfg.SegmentCount = 10
+	cfg.Reps = 1
+	res, err := RunIOR(plat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Write.Mean() <= 0 {
+		t.Error("no bandwidth")
+	}
+	if cfg.Hints != TunedHints() {
+		t.Error("TunedIOR hints mismatch")
+	}
+}
+
+func TestFacadeRunContended(t *testing.T) {
+	plat := Cab()
+	plat.JitterCV = 0
+	cfg := TunedIOR(64)
+	cfg.SegmentCount = 5
+	cfg.Reps = 1
+	results, err := RunContended(plat, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("jobs = %d", len(results))
+	}
+}
+
+func TestFacadeAssignOSTs(t *testing.T) {
+	a := AssignOSTs(1, 480, 160, 4)
+	if len(a.JobOSTs) != 4 || a.InUse() == 0 {
+		t.Errorf("assignment wrong")
+	}
+	b := AssignOSTs(1, 480, 160, 4)
+	if a.InUse() != b.InUse() {
+		t.Error("same seed should reproduce the assignment")
+	}
+}
+
+func TestFacadeExperimentLookup(t *testing.T) {
+	if len(ExperimentIDs()) != 11 {
+		t.Errorf("experiment ids = %v", ExperimentIDs())
+	}
+	if len(ExtraExperimentIDs()) != 5 {
+		t.Errorf("extra ids = %v", ExtraExperimentIDs())
+	}
+	if _, err := Experiment("nope", nil, true); err == nil {
+		t.Error("unknown experiment accepted")
+	} else if _, ok := err.(*UnknownExperimentError); !ok {
+		t.Errorf("wrong error type: %T", err)
+	}
+	out, err := Experiment("table3", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != "table3" || len(out.Tables) == 0 {
+		t.Error("table3 outcome malformed")
+	}
+}
+
+func TestFacadeAutotune(t *testing.T) {
+	plat := Cab()
+	plat.JitterCV = 0
+	// Full-space autotune on a reduced workload would be slow in tests;
+	// this exercises the wiring with the real entry point at small scale.
+	best, err := Autotune(plat, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.StripeCount <= 0 || best.MBs <= 0 {
+		t.Errorf("autotune returned %+v", best)
+	}
+}
+
+func TestDriverConstants(t *testing.T) {
+	if DriverUFS.String() != "ad_ufs" || DriverLustre.String() != "ad_lustre" || DriverPLFS.String() != "ad_plfs" {
+		t.Error("driver re-exports broken")
+	}
+}
