@@ -11,6 +11,7 @@ package pfsim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"pfsim/internal/experiments"
@@ -178,6 +179,68 @@ func BenchmarkEquationKernels(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSweepExhaustive measures the Section IV parameter sweep on the
+// Runner's worker pool: "serial" pins one worker, "parallel" uses every
+// core. Each grid point is an isolated deterministic simulation, so the
+// parallel grid is byte-identical to the serial one — the speedup on
+// multi-core machines is free.
+func BenchmarkSweepExhaustive(b *testing.B) {
+	plat := Cab()
+	base := TunedIOR(256)
+	base.Label = "bench-sweep"
+	base.SegmentCount = 10
+	base.Reps = 1
+	counts := []int{8, 32, 64, 128, 160}
+	sizes := []float64{1, 32, 64, 128, 256}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := NewRunner(WithParallelism(bc.par))
+			var grid *SweepGrid
+			for i := 0; i < b.N; i++ {
+				var err error
+				grid, err = r.Sweep(plat, counts, sizes,
+					SweepOptions{Tasks: 256, Reps: 1, Base: &base})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(counts)*len(sizes))/b.Elapsed().Seconds()*float64(b.N), "points/s")
+			b.ReportMetric(grid.Best().MBs, "bestMBs")
+		})
+	}
+}
+
+// BenchmarkScenarioHeterogeneous measures the mixed-workload engine: a
+// 256-rank collective writer next to a 256-rank PLFS logger on one
+// simulated system, slowdown baselines included.
+func BenchmarkScenarioHeterogeneous(b *testing.B) {
+	plat := Cab()
+	writer := TunedIOR(256)
+	writer.Label = "bench-hetero-writer"
+	writer.SegmentCount = 10
+	writer.Reps = 1
+	sc := NewScenario("bench-hetero",
+		ScenarioJob{Workload: IORWorkload(writer)},
+		ScenarioJob{Workload: PLFSWorkload(256, 40)},
+	)
+	r := NewRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunScenario(plat, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Jobs) != 2 || res.Jobs[0].Slowdown <= 0 {
+			b.Fatal("scenario result malformed")
+		}
+	}
 }
 
 // BenchmarkSimulatorThroughput measures the simulator itself: simulated

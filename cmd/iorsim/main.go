@@ -1,11 +1,13 @@
 // iorsim runs a single simulated IOR execution, mirroring the IOR command
-// line options used in the paper (Table II defaults).
+// line options used in the paper (Table II defaults). Contended runs go
+// through the Scenario/Runner API and report per-job slowdown vs solo.
 //
 // Usage:
 //
 //	iorsim -np 1024 -api lustre -stripes 160 -stripesize 128
 //	iorsim -np 512 -api plfs
 //	iorsim -np 16 -fpp -stripes 1 -stripesize 1 -offset 7   # Figure 2 style
+//	iorsim -np 1024 -jobs 4 -parallel 8                     # Section V
 package main
 
 import (
@@ -13,9 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"pfsim/internal/cluster"
-	"pfsim/internal/ior"
-	"pfsim/internal/mpiio"
+	"pfsim"
 )
 
 func main() {
@@ -32,13 +32,11 @@ func main() {
 	read := flag.Bool("r", false, "read the file back")
 	jobs := flag.Int("jobs", 1, "simultaneous identical jobs (contended run)")
 	seed := flag.Uint64("seed", 0, "override platform RNG seed")
+	parallel := flag.Int("parallel", 0, "worker pool width for baseline runs (0 = all cores)")
 	flag.Parse()
 
-	plat := cluster.Cab()
-	if *seed != 0 {
-		plat.Seed = *seed
-	}
-	cfg := ior.Config{
+	plat := pfsim.Cab()
+	cfg := pfsim.IORConfig{
 		Label:          "iorsim",
 		BlockSizeMB:    *block,
 		TransferSizeMB: *transfer,
@@ -49,7 +47,7 @@ func main() {
 		FilePerProc:    *fpp,
 		Collective:     true,
 		Reps:           *reps,
-		Hints: mpiio.Hints{
+		Hints: pfsim.Hints{
 			StripingFactor: *stripes,
 			StripingUnitMB: *stripeSize,
 			StripeOffset:   *offset,
@@ -57,33 +55,41 @@ func main() {
 	}
 	switch *api {
 	case "ufs":
-		cfg.API = mpiio.DriverUFS
+		cfg.API = pfsim.DriverUFS
 	case "lustre":
-		cfg.API = mpiio.DriverLustre
+		cfg.API = pfsim.DriverLustre
 	case "plfs":
-		cfg.API = mpiio.DriverPLFS
+		cfg.API = pfsim.DriverPLFS
 	default:
 		fmt.Fprintf(os.Stderr, "iorsim: unknown api %q\n", *api)
 		os.Exit(2)
 	}
 
+	runner := pfsim.NewRunner(
+		pfsim.WithSeed(*seed),
+		pfsim.WithParallelism(*parallel),
+	)
+
 	if *jobs > 1 {
-		results, err := ior.RunContended(plat, cfg, *jobs)
+		res, err := runner.RunScenario(plat,
+			pfsim.UniformScenario("iorsim", pfsim.IORWorkload(cfg), *jobs))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iorsim:", err)
 			os.Exit(1)
 		}
-		total := 0.0
-		for j, res := range results {
-			lo, hi := res.Write.CI95()
-			fmt.Printf("job %d: write %.2f MB/s  95%% CI (%.2f, %.2f)\n", j, res.Write.Mean(), lo, hi)
-			total += res.Write.Mean()
+		for j := range res.Jobs {
+			jr := &res.Jobs[j]
+			lo, hi := jr.IOR.Write.CI95()
+			fmt.Printf("job %d: write %.2f MB/s  95%% CI (%.2f, %.2f)  slowdown %.2fx vs solo\n",
+				j, jr.WriteMBs(), lo, hi, jr.Slowdown)
 		}
-		fmt.Printf("total: %.2f MB/s across %d jobs\n", total, *jobs)
+		agg := res.Aggregate()
+		fmt.Printf("total: %.2f MB/s across %d jobs (mean slowdown %.2fx)\n",
+			agg.TotalMBs, *jobs, agg.MeanSlowdown)
 		return
 	}
 
-	res, err := ior.Run(plat, cfg)
+	res, err := runner.RunIOR(plat, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iorsim:", err)
 		os.Exit(1)

@@ -1,9 +1,11 @@
-// pfsim-contend reproduces the Section V contention experiments:
+// pfsim-contend reproduces the Section V contention experiments and runs
+// custom contention scenarios on the Scenario/Runner API:
 //
-//	pfsim-contend -experiment figure2   # single-OST contention curve
-//	pfsim-contend -experiment figure3   # 4 tuned jobs × 5 repetitions
-//	pfsim-contend -experiment table5    # stripe-request trade-off
-//	pfsim-contend -jobs 6 -r 96         # custom contended run
+//	pfsim-contend -experiment figure2      # single-OST contention curve
+//	pfsim-contend -experiment figure3      # 4 tuned jobs × 5 repetitions
+//	pfsim-contend -experiment table5       # stripe-request trade-off
+//	pfsim-contend -jobs 6 -r 96            # custom contended run
+//	pfsim-contend -jobs 2 -plfs 1024       # striped jobs + a PLFS logger
 package main
 
 import (
@@ -11,20 +13,20 @@ import (
 	"fmt"
 	"os"
 
-	"pfsim/internal/cluster"
-	"pfsim/internal/core"
+	"pfsim"
 	"pfsim/internal/experiments"
-	"pfsim/internal/ior"
 )
 
 func main() {
 	exp := flag.String("experiment", "", "figure2 | figure3 | table5 (paper artefacts)")
-	jobs := flag.Int("jobs", 4, "simultaneous jobs for a custom run")
+	jobs := flag.Int("jobs", 4, "simultaneous striped jobs for a custom run")
 	r := flag.Int("r", 160, "stripes per job for a custom run")
 	sizeMB := flag.Float64("stripesize", 128, "stripe size (MB) for a custom run")
 	tasks := flag.Int("tasks", 1024, "tasks per job")
 	reps := flag.Int("reps", 5, "repetitions per job")
+	plfsRanks := flag.Int("plfs", 0, "add an n-rank PLFS logger to the scenario (heterogeneous mix)")
 	quick := flag.Bool("quick", false, "fewer repetitions / volume for paper artefacts")
+	parallel := flag.Int("parallel", 0, "worker pool width (0 = all cores)")
 	flag.Parse()
 
 	if *exp != "" {
@@ -33,7 +35,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pfsim-contend: unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
-		out, err := run(experiments.Options{Quick: *quick})
+		out, err := run(experiments.Options{Quick: *quick, Parallelism: *parallel})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfsim-contend:", err)
 			os.Exit(1)
@@ -49,27 +51,41 @@ func main() {
 		return
 	}
 
-	plat := cluster.Cab()
-	base := ior.PaperConfig(*tasks)
+	plat := pfsim.Cab()
+	base := pfsim.PaperIOR(*tasks)
 	base.Label = "contend"
 	base.Reps = *reps
 	base.Hints.StripingFactor = *r
 	base.Hints.StripingUnitMB = *sizeMB
-	results, err := ior.RunContended(plat, base, *jobs)
+
+	sc := pfsim.UniformScenario("contend", pfsim.IORWorkload(base), *jobs)
+	if *plfsRanks > 0 {
+		sc = sc.Add(pfsim.ScenarioJob{Workload: pfsim.PLFSWorkload(*plfsRanks, 0)})
+	}
+	runner := pfsim.NewRunner(pfsim.WithParallelism(*parallel))
+	res, err := runner.RunScenario(plat, sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pfsim-contend:", err)
 		os.Exit(1)
 	}
-	total := 0.0
-	for j, res := range results {
-		lo, hi := res.Write.CI95()
-		fmt.Printf("job %d: %.0f MB/s  95%% CI (%.0f, %.0f)\n", j, res.Write.Mean(), lo, hi)
-		total += res.Write.Mean()
+	for j := range res.Jobs {
+		jr := &res.Jobs[j]
+		lo, hi := jr.IOR.Write.CI95()
+		fmt.Printf("%-14s %.0f MB/s  95%% CI (%.0f, %.0f)  slowdown %.2fx vs solo\n",
+			jr.Label+":", jr.WriteMBs(), lo, hi, jr.Slowdown)
 	}
-	fmt.Printf("total: %.0f MB/s\n\n", total)
+	agg := res.Aggregate()
+	fmt.Printf("total: %.0f MB/s, makespan %.0f s\n\n", agg.TotalMBs, res.Makespan)
+
 	fmt.Printf("predicted Dinuse %.2f, Dload %.2f (Equations 2-4)\n",
-		core.Dinuse(plat.OSTs, *r, *jobs), core.Dload(plat.OSTs, *r, *jobs))
-	q := core.Availability(core.FileSystem{Name: plat.Name, TotalOSTs: plat.OSTs, MaxStripeCount: plat.MaxStripeCount}, *r, *jobs)
+		pfsim.Dinuse(plat.OSTs, *r, *jobs), pfsim.Dload(plat.OSTs, *r, *jobs))
+	q := pfsim.Availability(pfsim.FileSystem{
+		Name: plat.Name, TotalOSTs: plat.OSTs, MaxStripeCount: plat.MaxStripeCount,
+	}, *r, *jobs)
 	fmt.Printf("availability: %.0f OSTs free (%.0f%%), collision probability %.2f\n",
 		q.FreeOSTs, 100*q.FreeFraction, q.CollisionProb)
+	if *plfsRanks > 0 {
+		fmt.Printf("PLFS logger load (Equation 6): %.2f across all OSTs\n",
+			pfsim.PLFSLoad(plat.OSTs, *plfsRanks))
+	}
 }

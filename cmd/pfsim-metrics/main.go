@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"pfsim/internal/core"
+	"pfsim"
 	"pfsim/internal/report"
 )
 
@@ -39,34 +39,34 @@ func main() {
 func printPaperTables() {
 	for _, tc := range []struct {
 		title string
-		fs    core.FileSystem
+		fs    pfsim.FileSystem
 		r     int
 	}{
-		{"Table III: lscratchc, R=160", core.Lscratchc(), 160},
-		{"Table IV: lscratchc, R=64", core.Lscratchc(), 64},
-		{"Table VI: Stampede, R=128", core.Stampede(), 128},
+		{"Table III: lscratchc, R=160", pfsim.Lscratchc(), 160},
+		{"Table IV: lscratchc, R=64", pfsim.Lscratchc(), 64},
+		{"Table VI: Stampede, R=128", pfsim.StampedeFS(), 128},
 	} {
 		printLoadTable(tc.title, tc.fs, tc.r, 10)
 		fmt.Println()
 	}
 }
 
-func printLoadTable(title string, fs core.FileSystem, r, jobs int) {
+func printLoadTable(title string, fs pfsim.FileSystem, r, jobs int) {
 	t := report.NewTable(title, "Jobs", "Dinuse", "Dreq", "Dload")
-	for _, row := range core.LoadTable(fs, r, jobs) {
+	for _, row := range pfsim.LoadTable(fs, r, jobs) {
 		t.AddRow(row.Jobs, row.Dinuse, row.Dreq, row.Dload)
 	}
 	t.Fprint(os.Stdout)
 }
 
 func printCustom(dtotal, r, jobs int, maxLoad float64) {
-	fs := core.FileSystem{Name: "custom", TotalOSTs: dtotal, MaxStripeCount: dtotal}
+	fs := pfsim.FileSystem{Name: "custom", TotalOSTs: dtotal, MaxStripeCount: dtotal}
 	if err := fs.Validate(r); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	printLoadTable(fmt.Sprintf("Dtotal=%d, R=%d", dtotal, r), fs, r, jobs)
-	q := core.Availability(fs, r, jobs)
+	q := pfsim.Availability(fs, r, jobs)
 	fmt.Printf("\nWith %d jobs: %.1f OSTs free (%.0f%%), collision probability %.2f, expected max sharers %.1f\n",
 		jobs, q.FreeOSTs, 100*q.FreeFraction, q.CollisionProb, q.ExpectedMaxSharers)
 	if maxLoad > 0 {
@@ -74,9 +74,9 @@ func printCustom(dtotal, r, jobs int, maxLoad float64) {
 		for c := 8; c <= dtotal; c *= 2 {
 			candidates = append(candidates, c)
 		}
-		if rec := core.RecommendRequest(fs, jobs, maxLoad, candidates); rec > 0 {
+		if rec := pfsim.RecommendRequest(fs, jobs, maxLoad, candidates); rec > 0 {
 			fmt.Printf("Smallest power-of-two request keeping load <= %.2f: %d stripes (load %.2f)\n",
-				maxLoad, rec, core.Dload(dtotal, rec, jobs))
+				maxLoad, rec, pfsim.Dload(dtotal, rec, jobs))
 		} else {
 			fmt.Printf("No request keeps load <= %.2f with %d jobs on %d OSTs\n", maxLoad, jobs, dtotal)
 		}
@@ -85,8 +85,8 @@ func printCustom(dtotal, r, jobs int, maxLoad float64) {
 
 func printPLFS(dtotal, ranks int) {
 	fmt.Printf("PLFS on %d OSTs with %d ranks (R=2 per rank):\n", dtotal, ranks)
-	fmt.Printf("  Dinuse (Eq. 5): %.2f\n", core.PLFSDinuse(dtotal, ranks))
-	fmt.Printf("  Dload  (Eq. 6): %.2f\n", core.PLFSLoad(dtotal, ranks))
-	be := core.PLFSBreakEvenRanks(dtotal, 3)
+	fmt.Printf("  Dinuse (Eq. 5): %.2f\n", pfsim.PLFSDinuse(dtotal, ranks))
+	fmt.Printf("  Dload  (Eq. 6): %.2f\n", pfsim.PLFSLoad(dtotal, ranks))
+	be := pfsim.PLFSBreakEvenRanks(dtotal, 3)
 	fmt.Printf("  Load exceeds 3 tasks/OST (the paper's \"good\" threshold) beyond %d ranks\n", be)
 }

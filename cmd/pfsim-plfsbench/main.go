@@ -20,13 +20,14 @@ import (
 func main() {
 	only := flag.String("only", "", "figure5 | table7 | table8 | table9")
 	quick := flag.Bool("quick", false, "fewer repetitions")
+	parallel := flag.Int("parallel", 0, "worker pool width (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	ids := []string{"figure5", "table8", "table9"}
 	if *only != "" {
 		ids = []string{*only}
 	}
-	opt := experiments.Options{Quick: *quick}
+	opt := experiments.Options{Quick: *quick, Parallelism: *parallel}
 	for _, id := range ids {
 		run, ok := experiments.Lookup(id)
 		if !ok {

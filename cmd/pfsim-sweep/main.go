@@ -1,11 +1,12 @@
 // pfsim-sweep reproduces the Section IV parameter search (Figure 1): an
 // exhaustive sweep of stripe count × stripe size for an IOR workload on
-// the simulated platform, optionally followed by the genetic autotuner.
+// the simulated platform, fanned across a worker pool, optionally
+// followed by the genetic autotuner.
 //
 // Usage:
 //
-//	pfsim-sweep                 # full Figure 1 grid, 1,024 tasks
-//	pfsim-sweep -tasks 256 -reps 3
+//	pfsim-sweep                 # full Figure 1 grid, 1,024 tasks, all cores
+//	pfsim-sweep -tasks 256 -reps 3 -parallel 1
 //	pfsim-sweep -ga             # add the Behzad-style GA comparison
 package main
 
@@ -16,7 +17,7 @@ import (
 	"strconv"
 	"strings"
 
-	"pfsim/internal/cluster"
+	"pfsim"
 	"pfsim/internal/report"
 	"pfsim/internal/sweep"
 )
@@ -28,16 +29,28 @@ func main() {
 	sizesArg := flag.String("sizes", "1,32,64,128,256", "comma-separated stripe sizes in MB")
 	ga := flag.Bool("ga", false, "also run the genetic autotuner")
 	csv := flag.Bool("csv", false, "emit the grid as CSV")
+	parallel := flag.Int("parallel", 0, "worker pool width (0 = all cores, 1 = serial)")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
-	plat := cluster.Cab()
-	counts := sweep.CountsUpTo(plat)
+	plat := pfsim.Cab()
+	counts := pfsim.SweepCounts(plat)
 	if *countsArg != "" {
 		counts = parseInts(*countsArg)
 	}
 	sizes := parseFloats(*sizesArg)
 
-	grid, err := sweep.Exhaustive(plat, counts, sizes, sweep.Options{Tasks: *tasks, Reps: *reps})
+	opts := []pfsim.RunnerOption{pfsim.WithParallelism(*parallel)}
+	if *progress {
+		opts = append(opts, pfsim.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	runner := pfsim.NewRunner(opts...)
+	grid, err := runner.Sweep(plat, counts, sizes, pfsim.SweepOptions{Tasks: *tasks, Reps: *reps})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pfsim-sweep:", err)
 		os.Exit(1)
@@ -65,7 +78,7 @@ func main() {
 
 	if *ga {
 		res, err := sweep.Genetic(plat, sweep.GAOptions{
-			Options: sweep.Options{Tasks: *tasks, Reps: *reps},
+			Options: sweep.Options{Tasks: *tasks, Reps: *reps, Parallelism: *parallel},
 			Seed:    plat.Seed,
 			Counts:  counts,
 			SizesMB: sizes,

@@ -1,12 +1,14 @@
-// pfsim-trace runs one simulated IOR execution with the I/O tracer
+// pfsim-trace runs a simulated contention scenario with the I/O tracer
 // attached and reports what happened inside: per-transfer records, the
-// slowest streams (the stragglers that set the job's bandwidth), and an
+// slowest streams (the stragglers that set each job's bandwidth), and an
 // aggregate throughput timeline. Use -csv to dump the raw trace.
 //
 // Usage:
 //
 //	pfsim-trace -np 1024 -stripes 160 -stripesize 128
 //	pfsim-trace -np 512 -api plfs -csv trace.csv
+//	pfsim-trace -np 1024 -jobs 4              # trace Section V contention
+//	pfsim-trace -np 1024 -plfs 1024           # trace a heterogeneous mix
 package main
 
 import (
@@ -19,9 +21,8 @@ import (
 	"pfsim/internal/lustre"
 	"pfsim/internal/mpiio"
 	"pfsim/internal/report"
-	"pfsim/internal/sim"
-	"pfsim/internal/stats"
 	"pfsim/internal/trace"
+	"pfsim/internal/workload"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 	stripes := flag.Int("stripes", 160, "striping_factor hint")
 	stripeSize := flag.Float64("stripesize", 128, "striping_unit hint (MB)")
 	segments := flag.Int("s", 100, "segment count")
+	jobs := flag.Int("jobs", 1, "simultaneous copies of the job (contended scenario)")
+	plfsRanks := flag.Int("plfs", 0, "add an n-rank PLFS logger to the scenario")
 	csvPath := flag.String("csv", "", "write the raw transfer trace to this file")
 	slowest := flag.Int("slowest", 5, "how many straggler transfers to list")
 	flag.Parse()
@@ -53,30 +56,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng := sim.NewEngine()
-	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(plat.Seed))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
-		os.Exit(1)
+	sc := workload.UniformScenario("trace", workload.IORJob{Cfg: cfg}, *jobs)
+	if *plfsRanks > 0 {
+		sc = sc.Add(workload.Job{Workload: workload.PLFSLogger{Ranks: *plfsRanks}})
 	}
+
 	rec := &trace.Recorder{}
-	rec.Attach(sys.Net())
-	job, err := ior.StartJob(sys, cfg)
+	res, err := workload.RunScenario(plat, sc, 0, func(sys *lustre.System) {
+		rec.Attach(sys.Net())
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
-		os.Exit(1)
-	}
-	if err := eng.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
-		os.Exit(1)
-	}
-	if job.Err() != nil {
-		fmt.Fprintln(os.Stderr, "pfsim-trace:", job.Err())
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s, %d tasks: %.0f MB/s\n\n", cfg.API, *np, job.Result.Write.Mean())
-	fmt.Printf("transfers: %d (peak concurrency %d), %.0f MB moved\n",
+	for i := range res.Jobs {
+		jr := &res.Jobs[i]
+		fmt.Printf("%s (%s, %d tasks): %.0f MB/s, finished at %.2f s\n",
+			jr.Label, jr.Config.API, jr.Config.NumTasks, jr.WriteMBs(), jr.FinishedAt)
+	}
+	fmt.Printf("\ntransfers: %d (peak concurrency %d), %.0f MB moved\n",
 		rec.Len(), rec.MaxConcurrent(), rec.TotalMB())
 	start, end := rec.Makespan()
 	fmt.Printf("makespan:  %.2f s (%.2f .. %.2f)\n\n", end-start, start, end)

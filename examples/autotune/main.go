@@ -13,12 +13,13 @@ import (
 func main() {
 	plat := pfsim.Cab()
 
-	// Sweep stripe count × stripe size for a 256-process IOR job. (The
-	// paper sweeps 1,024 processes; smaller here to keep the example
-	// snappy — try 1024 yourself.)
+	// Sweep stripe count × stripe size for a 256-process IOR job, fanned
+	// across every core. (The paper sweeps 1,024 processes; smaller here
+	// to keep the example snappy — try 1024 yourself.)
 	const tasks = 256
+	runner := pfsim.NewRunner()
 	fmt.Printf("Sweeping stripe count × size for %d processes on %s...\n", tasks, plat.Name)
-	best, err := pfsim.Autotune(plat, tasks, 2)
+	best, err := runner.Autotune(plat, tasks, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,27 +28,21 @@ func main() {
 
 	// How does the tuned configuration hold up against three neighbours
 	// running the same thing? (Section V's warning about auto-tuning
-	// without regard for QoS.)
+	// without regard for QoS.) The Runner reports slowdown vs the solo
+	// baseline for every job in one call.
 	cfg := pfsim.PaperIOR(tasks)
 	cfg.Hints.StripingFactor = best.StripeCount
 	cfg.Hints.StripingUnitMB = best.StripeSizeMB
 	cfg.Reps = 3
-	solo, err := pfsim.RunIOR(plat, cfg)
+	res, err := runner.RunScenario(plat,
+		pfsim.UniformScenario("autotuned", pfsim.IORWorkload(cfg), 4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	contended, err := pfsim.RunContended(plat, cfg, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mean := 0.0
-	for _, r := range contended {
-		mean += r.Write.Mean()
-	}
-	mean /= float64(len(contended))
-	fmt.Printf("\nTuned job alone:          %.0f MB/s\n", solo.Write.Mean())
+	agg := res.Aggregate()
+	fmt.Printf("\nTuned job alone:          %.0f MB/s\n", res.Jobs[0].SoloMBs)
 	fmt.Printf("Same job, 4 contending:   %.0f MB/s per job (%.1f× slower)\n",
-		mean, solo.Write.Mean()/mean)
+		agg.MeanMBs, agg.MeanSlowdown)
 	fmt.Printf("Predicted OST load with 4 jobs: %.2f\n",
 		pfsim.Dload(plat.OSTs, best.StripeCount, 4))
 }

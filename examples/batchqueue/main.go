@@ -67,4 +67,24 @@ func runDay(stripes int) {
 	fmt.Printf("mean wait:       %.0f s   mean slowdown: %.2f\n", sum.MeanWait, sum.MeanSlowdown)
 	fmt.Printf("predicted load with 4 such jobs: %.2f\n",
 		pfsim.Dload(plat.OSTs, stripes, 4))
+
+	// What does the 256-node partition itself cost? Replay the same job
+	// stream as a Scenario on the full machine: every job starts at its
+	// submit time on its own nodes, so only file-system contention — not
+	// node scarcity — remains.
+	wide := pfsim.Cab()
+	sc := pfsim.Scenario{Name: fmt.Sprintf("day-r%d", stripes)}
+	for _, s := range subs {
+		sc = sc.Add(pfsim.ScenarioJob{
+			Workload: pfsim.IORWorkload(s.Cfg),
+			StartAt:  s.SubmitAt,
+		})
+	}
+	res, err := pfsim.NewRunner(pfsim.WithoutSlowdowns()).RunScenario(wide, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := res.Aggregate()
+	fmt.Printf("same stream, no node queueing: mean BW %.0f MB/s, makespan %.0f s\n",
+		agg.MeanMBs, res.Makespan)
 }

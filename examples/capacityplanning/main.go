@@ -37,8 +37,10 @@ func main() {
 
 	// Validate by simulation: run the 8-job workload on a platform scaled
 	// to the recommended OST count and compare per-job bandwidth with the
-	// 480-OST baseline. OSS count scales with the storage.
+	// 480-OST baseline. OSS count scales with the storage. The Runner
+	// reports each job's slowdown vs running alone.
 	fmt.Println("\nSimulating 8 contending jobs (256 procs each):")
+	runner := pfsim.NewRunner()
 	for _, dtotal := range []int{480, need} {
 		plat := pfsim.Cab()
 		plat.OSTs = dtotal
@@ -49,16 +51,13 @@ func main() {
 		cfg.Hints.StripingFactor = request
 		cfg.Hints.StripingUnitMB = 128
 		cfg.Reps = 3
-		results, err := pfsim.RunContended(plat, cfg, jobs)
+		res, err := runner.RunScenario(plat,
+			pfsim.UniformScenario(cfg.Label, pfsim.IORWorkload(cfg), jobs))
 		if err != nil {
 			log.Fatal(err)
 		}
-		mean := 0.0
-		for _, r := range results {
-			mean += r.Write.Mean()
-		}
-		mean /= jobs
-		fmt.Printf("  %4d OSTs: %.0f MB/s per job (predicted load %.2f)\n",
-			dtotal, mean, pfsim.Dload(dtotal, request, jobs))
+		agg := res.Aggregate()
+		fmt.Printf("  %4d OSTs: %.0f MB/s per job, slowdown %.2fx vs solo (predicted load %.2f)\n",
+			dtotal, agg.MeanMBs, agg.MeanSlowdown, pfsim.Dload(dtotal, request, jobs))
 	}
 }

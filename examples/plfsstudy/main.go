@@ -16,29 +16,35 @@ func main() {
 	fmt.Printf("PLFS vs tuned ad_lustre on %s (write-only IOR, 400 MB/rank)\n\n", plat.Name)
 	fmt.Println("ranks   lustre MB/s   plfs MB/s   plfs Dload (Eq. 6)   winner")
 
-	for _, ranks := range []int{64, 256, 512, 1024, 2048} {
+	// Ten independent simulations (five scales × two drivers): one
+	// RunScenarios call fans them across the machine's cores.
+	rankCounts := []int{64, 256, 512, 1024, 2048}
+	var scs []pfsim.Scenario
+	for _, ranks := range rankCounts {
 		lustre := pfsim.TunedIOR(ranks)
 		lustre.Label = fmt.Sprintf("study-lustre-%d", ranks)
 		lustre.Reps = 2
-		lres, err := pfsim.RunIOR(plat, lustre)
-		if err != nil {
-			log.Fatal(err)
-		}
 		plfs := pfsim.PaperIOR(ranks)
 		plfs.Label = fmt.Sprintf("study-plfs-%d", ranks)
 		plfs.API = pfsim.DriverPLFS
 		plfs.Reps = 2
-		pres, err := pfsim.RunIOR(plat, plfs)
-		if err != nil {
-			log.Fatal(err)
-		}
+		scs = append(scs,
+			pfsim.NewScenario(lustre.Label, pfsim.ScenarioJob{Workload: pfsim.IORWorkload(lustre)}),
+			pfsim.NewScenario(plfs.Label, pfsim.ScenarioJob{Workload: pfsim.IORWorkload(plfs)}))
+	}
+	out, err := pfsim.NewRunner(pfsim.WithoutSlowdowns()).RunScenarios(pfsim.Cab(), scs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, ranks := range rankCounts {
+		lbw := out[2*i].Jobs[0].WriteMBs()
+		pbw := out[2*i+1].Jobs[0].WriteMBs()
 		winner := "lustre"
-		if pres.Write.Mean() > lres.Write.Mean() {
+		if pbw > lbw {
 			winner = "plfs"
 		}
 		fmt.Printf("%-7d %-13.0f %-11.0f %-20.2f %s\n",
-			ranks, lres.Write.Mean(), pres.Write.Mean(),
-			pfsim.PLFSLoad(plat.OSTs, ranks), winner)
+			ranks, lbw, pbw, pfsim.PLFSLoad(plat.OSTs, ranks), winner)
 	}
 
 	// Where does PLFS stop being "good"? The paper calls 3 tasks per OST

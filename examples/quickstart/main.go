@@ -22,26 +22,29 @@ func main() {
 	fmt.Printf("  P(shared OST):          %.2f\n", q.CollisionProb)
 
 	// 2. Simulate the paper's headline IOR run: 1,024 processes writing
-	// 400 MB each through the tuned ad_lustre configuration.
+	// 400 MB each through the tuned ad_lustre configuration, next to the
+	// default configuration (ad_ufs, 2 × 1 MB). The Runner fans the two
+	// independent simulations across the machine's cores.
 	plat := pfsim.Cab()
 	tuned := pfsim.TunedIOR(1024)
 	tuned.Reps = 3
-	res, err := pfsim.RunIOR(plat, tuned)
+	def := pfsim.PaperIOR(1024)
+	def.Label = "default"
+	def.API = pfsim.DriverUFS
+	def.Reps = 3
+
+	runner := pfsim.NewRunner(pfsim.WithoutSlowdowns())
+	out, err := runner.RunScenarios(plat, []pfsim.Scenario{
+		pfsim.NewScenario("tuned", pfsim.ScenarioJob{Workload: pfsim.IORWorkload(tuned)}),
+		pfsim.NewScenario("default", pfsim.ScenarioJob{Workload: pfsim.IORWorkload(def)}),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, defRes := out[0].Jobs[0].IOR, out[1].Jobs[0].IOR
 	lo, hi := res.Write.CI95()
 	fmt.Printf("\nTuned IOR (160 stripes × 128 MB), 1,024 processes:\n")
 	fmt.Printf("  write bandwidth: %.0f MB/s  95%% CI (%.0f, %.0f)\n", res.Write.Mean(), lo, hi)
-
-	// 3. Compare with the default configuration (ad_ufs, 2 × 1 MB).
-	def := pfsim.PaperIOR(1024)
-	def.API = pfsim.DriverUFS
-	def.Reps = 3
-	defRes, err := pfsim.RunIOR(plat, def)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("  default config:  %.0f MB/s  →  tuning gains %.0f×\n",
 		defRes.Write.Mean(), res.Write.Mean()/defRes.Write.Mean())
 }

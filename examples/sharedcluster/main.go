@@ -24,25 +24,29 @@ func main() {
 		load   float64
 		free   float64
 	}
-	var rows []row
-	for _, r := range []int{32, 64, 96, 128, 160} {
+	// Every stripe request is an independent four-job scenario; the
+	// Runner fans the five of them across the machine's cores.
+	requests := []int{32, 64, 96, 128, 160}
+	var scs []pfsim.Scenario
+	for _, r := range requests {
 		cfg := pfsim.PaperIOR(1024)
 		cfg.Label = fmt.Sprintf("shared-r%d", r)
 		cfg.Hints.StripingFactor = r
 		cfg.Hints.StripingUnitMB = 128
 		cfg.Reps = 3
-		results, err := pfsim.RunContended(plat, cfg, jobs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mean := 0.0
-		for _, res := range results {
-			mean += res.Write.Mean()
-		}
-		mean /= jobs
+		scs = append(scs, pfsim.UniformScenario(cfg.Label, pfsim.IORWorkload(cfg), jobs))
+	}
+	runner := pfsim.NewRunner(pfsim.WithoutSlowdowns())
+	out, err := runner.RunScenarios(plat, scs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows []row
+	for i, r := range requests {
+		mean := out[i].Aggregate().MeanMBs
 		q := pfsim.Availability(fs, r, jobs)
 		rows = append(rows, row{r, mean, q.Load, q.FreeOSTs})
-		fmt.Printf("%-6d %-14.0f %-12.0f %-7.2f %.0f\n", r, mean, mean*jobs, q.Load, q.FreeOSTs)
+		fmt.Printf("%-6d %-14.0f %-12.0f %-7.2f %.0f\n", r, mean, mean*float64(jobs), q.Load, q.FreeOSTs)
 	}
 
 	// The paper's observation: backing off from 160 stripes costs little

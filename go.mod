@@ -1,0 +1,3 @@
+module pfsim
+
+go 1.24

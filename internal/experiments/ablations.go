@@ -22,33 +22,46 @@ func AblationAggregatorCap(opt Options) (*Outcome, error) {
 	base := opt.platform()
 	t := report.NewTable("Ablation: aggregator dispatch rate",
 		"AggregatorMBs", "Tuned BW", "Default BW")
-	var tunedAtBase, defaultAtBase, tunedAtHalf float64
-	for _, scale := range []float64{0.5, 1.0, 1.5} {
+	scales := []float64{0.5, 1.0, 1.5}
+	tunedBW := make([]float64, len(scales))
+	defBW := make([]float64, len(scales))
+	err := opt.each(2*len(scales), func(k int) error {
+		i, half := k/2, k%2
+		scale := scales[i]
 		plat := *base
 		plat.AggregatorMBs = base.AggregatorMBs * scale
-		tuned := ior.PaperConfig(1024)
-		tuned.Label = fmt.Sprintf("abl-agg-%g-tuned", scale)
-		tuned.Hints = ior.TunedHints()
-		tuned.SegmentCount = opt.segments(100)
-		tuned.Reps = opt.reps(2)
-		tres, err := ior.Run(&plat, tuned)
-		if err != nil {
-			return nil, err
+		cfg := ior.PaperConfig(1024)
+		cfg.SegmentCount = opt.segments(100)
+		cfg.Reps = opt.reps(2)
+		if half == 0 {
+			cfg.Label = fmt.Sprintf("abl-agg-%g-tuned", scale)
+			cfg.Hints = ior.TunedHints()
+		} else {
+			cfg.Label = fmt.Sprintf("abl-agg-%g-def", scale)
+			cfg.API = mpiio.DriverUFS
 		}
-		def := tuned
-		def.Label = fmt.Sprintf("abl-agg-%g-def", scale)
-		def.API = mpiio.DriverUFS
-		def.Hints = ior.PaperConfig(1024).Hints
-		dres, err := ior.Run(&plat, def)
+		res, err := ior.Run(&plat, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(plat.AggregatorMBs, tres.Write.Mean(), dres.Write.Mean())
+		if half == 0 {
+			tunedBW[i] = res.Write.Mean()
+		} else {
+			defBW[i] = res.Write.Mean()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tunedAtBase, defaultAtBase, tunedAtHalf float64
+	for i, scale := range scales {
+		t.AddRow(base.AggregatorMBs*scale, tunedBW[i], defBW[i])
 		switch scale {
 		case 1.0:
-			tunedAtBase, defaultAtBase = tres.Write.Mean(), dres.Write.Mean()
+			tunedAtBase, defaultAtBase = tunedBW[i], defBW[i]
 		case 0.5:
-			tunedAtHalf = tres.Write.Mean()
+			tunedAtHalf = tunedBW[i]
 		}
 	}
 	return &Outcome{
@@ -84,15 +97,18 @@ func AblationThrash(opt Options) (*Outcome, error) {
 		}
 		return res.Write.Mean(), nil
 	}
-	withThrash, err := run(base.Class[2].ThrashGamma)
+	gammas := []float64{base.Class[2].ThrashGamma, 0}
+	bws := make([]float64, len(gammas))
+	err := opt.each(len(gammas), func(i int) error {
+		bw, err := run(gammas[i])
+		bws[i] = bw
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow(base.Class[2].ThrashGamma, withThrash)
-	noThrash, err := run(0)
-	if err != nil {
-		return nil, err
-	}
+	withThrash, noThrash := bws[0], bws[1]
+	t.AddRow(gammas[0], withThrash)
 	t.AddRow(0.0, noThrash)
 	return &Outcome{
 		ID:     "ablation-thrash",
@@ -125,11 +141,17 @@ func ExtensionReadback(opt Options) (*Outcome, error) {
 		}
 		return res.Write.Mean(), res.Read.Mean(), nil
 	}
-	lw, lr, err := run(mpiio.DriverLustre, ior.TunedHints(), "ext-rb-lustre")
-	if err != nil {
-		return nil, err
-	}
-	pw, pr, err := run(mpiio.DriverPLFS, mpiio.NewHints(), "ext-rb-plfs")
+	var lw, lr, pw, pr float64
+	err := opt.each(2, func(i int) error {
+		if i == 0 {
+			w, rd, err := run(mpiio.DriverLustre, ior.TunedHints(), "ext-rb-lustre")
+			lw, lr = w, rd
+			return err
+		}
+		w, rd, err := run(mpiio.DriverPLFS, mpiio.NewHints(), "ext-rb-plfs")
+		pw, pr = w, rd
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -160,33 +182,47 @@ func ExtensionWideStriping(opt Options) (*Outcome, error) {
 	plat.MaxStripeCount = plat.OSTs // a Lustre without the 160-stripe cap
 	t := report.NewTable("Extension: striping beyond the 160-OST limit",
 		"Stripes", "Solo BW", "4-job avg BW", "4-job Dload")
-	var solo160, solo480 float64
-	for _, r := range []int{160, 320, 480} {
+	stripeCounts := []int{160, 320, 480}
+	solo := make([]float64, len(stripeCounts))
+	avg4 := make([]float64, len(stripeCounts))
+	err := opt.each(2*len(stripeCounts), func(k int) error {
+		i, half := k/2, k%2
+		r := stripeCounts[i]
 		cfg := ior.PaperConfig(1024)
 		cfg.Label = fmt.Sprintf("ext-wide-%d", r)
 		cfg.SegmentCount = opt.segments(100)
 		cfg.Reps = opt.reps(3)
 		cfg.Hints.StripingFactor = r
 		cfg.Hints.StripingUnitMB = 128
-		res, err := ior.Run(&plat, cfg)
-		if err != nil {
-			return nil, err
+		if half == 0 {
+			res, err := ior.Run(&plat, cfg)
+			if err != nil {
+				return err
+			}
+			solo[i] = res.Write.Mean()
+			return nil
 		}
 		contended, err := ior.RunContended(&plat, cfg, 4)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		avg := 0.0
 		for _, c := range contended {
-			avg += c.Write.Mean()
+			avg4[i] += c.Write.Mean()
 		}
-		avg /= 4
-		t.AddRow(r, res.Write.Mean(), avg, core.Dload(plat.OSTs, r, 4))
+		avg4[i] /= 4
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var solo160, solo480 float64
+	for i, r := range stripeCounts {
+		t.AddRow(r, solo[i], avg4[i], core.Dload(plat.OSTs, r, 4))
 		switch r {
 		case 160:
-			solo160 = res.Write.Mean()
+			solo160 = solo[i]
 		case 480:
-			solo480 = res.Write.Mean()
+			solo480 = solo[i]
 		}
 	}
 	return &Outcome{
@@ -213,13 +249,13 @@ func ExtensionGATuner(opt Options) (*Outcome, error) {
 	counts := sweep.CountsUpTo(plat)
 	sizes := []float64{1, 32, 64, 128, 256}
 	grid, err := sweep.Exhaustive(plat, counts, sizes, sweep.Options{
-		Tasks: 1024, Reps: 1, Base: &base,
+		Tasks: 1024, Reps: 1, Base: &base, Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ga, err := sweep.Genetic(plat, sweep.GAOptions{
-		Options:     sweep.Options{Tasks: 1024, Reps: 1, Base: &base},
+		Options:     sweep.Options{Tasks: 1024, Reps: 1, Base: &base, Parallelism: opt.Parallelism},
 		Population:  8,
 		Generations: 5,
 		Seed:        plat.Seed,

@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/core"
 	"pfsim/internal/ior"
+	"pfsim/internal/pool"
 	"pfsim/internal/refdata"
 	"pfsim/internal/report"
 )
@@ -23,6 +25,18 @@ type Options struct {
 	// Quick trades repetitions and written volume for speed; shapes are
 	// preserved. Benchmarks use Quick, cmd/experiments the full setting.
 	Quick bool
+	// Parallelism fans an experiment's independent simulations across
+	// this many workers (1 = serial; values below one select GOMAXPROCS,
+	// the default). Every simulation is deterministic in isolation, so
+	// regenerated artefacts are byte-identical at any parallelism.
+	Parallelism int
+}
+
+// each runs fn(0..n-1) across the experiment's worker pool. Callers keep
+// per-index state and render tables serially afterwards, so outputs do
+// not depend on completion order.
+func (o Options) each(n int, fn func(i int) error) error {
+	return pool.Run(context.Background(), o.Parallelism, n, fn)
 }
 
 func (o Options) platform() *cluster.Platform {

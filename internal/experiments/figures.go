@@ -21,7 +21,7 @@ func Figure1(opt Options) (*Outcome, error) {
 	base.SegmentCount = opt.segments(100)
 	base.Reps = opt.reps(3)
 	grid, err := sweep.Exhaustive(plat, counts, sizes, sweep.Options{
-		Tasks: 1024, Reps: base.Reps, Base: &base,
+		Tasks: 1024, Reps: base.Reps, Base: &base, Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -83,12 +83,11 @@ func sizeHeaders(sizes []float64) []string {
 func Figure2(opt Options) (*Outcome, error) {
 	plat := opt.platform()
 	reps := opt.reps(5)
-	perProc := make([]float64, 0, 16)
-	var lo1, hi1 float64
-	t := report.NewTable("Figure 2: per-process bandwidth on one contended OST (MB/s)",
-		"Jobs", "Per-proc BW", "Ideal lower", "Ideal upper", "Within band")
 	maxJobs := refdata.Figure2.MaxJobs
-	for k := 1; k <= maxJobs; k++ {
+	// Every writer count is an independent simulation: fan them out.
+	results := make([]*ior.Result, maxJobs)
+	err := opt.each(maxJobs, func(i int) error {
+		k := i + 1
 		cfg := ior.Config{
 			Label:          fmt.Sprintf("figure2-k%d", k),
 			API:            mpiio.DriverLustre,
@@ -102,10 +101,18 @@ func Figure2(opt Options) (*Outcome, error) {
 			Reps:           reps,
 		}
 		res, err := ior.Run(plat, cfg)
-		if err != nil {
-			return nil, err
-		}
-		pp := res.PerProcWrite()
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	perProc := make([]float64, 0, maxJobs)
+	var lo1, hi1 float64
+	t := report.NewTable("Figure 2: per-process bandwidth on one contended OST (MB/s)",
+		"Jobs", "Per-proc BW", "Ideal lower", "Ideal upper", "Within band")
+	for k := 1; k <= maxJobs; k++ {
+		pp := results[k-1].PerProcWrite()
 		if k == 1 {
 			lo1, hi1 = pp.CI95()
 			if lo1 <= 0 {
@@ -221,24 +228,37 @@ type f5row struct {
 
 func figure5Rows(opt Options) ([]f5row, error) {
 	plat := opt.platform()
-	var rows []f5row
-	for _, ref := range refdata.TableVII {
+	// Each scale's Lustre and PLFS runs are independent simulations; the
+	// 2×len(TableVII) of them fan across the worker pool.
+	rows := make([]f5row, len(refdata.TableVII))
+	err := opt.each(2*len(refdata.TableVII), func(k int) error {
+		i, half := k/2, k%2
+		ref := refdata.TableVII[i]
 		procs := ref.Procs
+		if half == 0 {
+			rows[i].procs = procs
+			rows[i].paperLustre = ref.LustreMBs
+			rows[i].paperPLFS = ref.PLFSMBs
+		}
 		if opt.Quick && procs < 64 {
 			// tiny runs contribute little and the quick mode trims them
-			rows = append(rows, f5row{
-				procs: procs, lustre: -1, plfs: -1,
-				paperLustre: ref.LustreMBs, paperPLFS: ref.PLFSMBs,
-			})
-			continue
+			if half == 0 {
+				rows[i].lustre, rows[i].plfs = -1, -1
+			}
+			return nil
 		}
-		lc := ior.PaperConfig(procs)
-		lc.Label = fmt.Sprintf("figure5-lustre-%d", procs)
-		lc.Hints = ior.TunedHints()
-		lc.Reps = opt.reps(5)
-		lres, err := ior.Run(plat, lc)
-		if err != nil {
-			return nil, err
+		if half == 0 {
+			lc := ior.PaperConfig(procs)
+			lc.Label = fmt.Sprintf("figure5-lustre-%d", procs)
+			lc.Hints = ior.TunedHints()
+			lc.Reps = opt.reps(5)
+			lres, err := ior.Run(plat, lc)
+			if err != nil {
+				return err
+			}
+			rows[i].lustre = lres.Write.Mean()
+			rows[i].lustreLo, rows[i].lustreHi = lres.Write.CI95()
+			return nil
 		}
 		pc := ior.PaperConfig(procs)
 		pc.Label = fmt.Sprintf("figure5-plfs-%d", procs)
@@ -249,21 +269,14 @@ func figure5Rows(opt Options) ([]f5row, error) {
 		}
 		pres, err := ior.Run(plat, pc)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		lLo, lHi := lres.Write.CI95()
-		pLo, pHi := pres.Write.CI95()
-		rows = append(rows, f5row{
-			procs:       procs,
-			lustre:      lres.Write.Mean(),
-			lustreLo:    lLo,
-			lustreHi:    lHi,
-			plfs:        pres.Write.Mean(),
-			plfsLo:      pLo,
-			plfsHi:      pHi,
-			paperLustre: ref.LustreMBs,
-			paperPLFS:   ref.PLFSMBs,
-		})
+		rows[i].plfs = pres.Write.Mean()
+		rows[i].plfsLo, rows[i].plfsHi = pres.Write.CI95()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

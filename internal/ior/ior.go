@@ -7,6 +7,7 @@ package ior
 
 import (
 	"fmt"
+	"math"
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/core"
@@ -45,6 +46,10 @@ type Config struct {
 	// Reps is the number of repetitions; each recreates the file and so
 	// redraws its OST layout.
 	Reps int
+	// ComputeSeconds inserts a compute phase of this many virtual seconds
+	// between repetitions. Periodic checkpointers use it to space their
+	// writes out in time instead of issuing them back to back.
+	ComputeSeconds float64
 	// FirstNode places the job on the cluster (jobs in contended
 	// experiments occupy disjoint node ranges).
 	FirstNode int
@@ -99,6 +104,8 @@ func (c Config) Validate(plat *cluster.Platform) error {
 		return fmt.Errorf("ior: nothing to do (write and read both off)")
 	case c.FirstNode < 0:
 		return fmt.Errorf("ior: FirstNode must be non-negative")
+	case c.ComputeSeconds < 0 || math.IsNaN(c.ComputeSeconds):
+		return fmt.Errorf("ior: ComputeSeconds %v must be non-negative", c.ComputeSeconds)
 	}
 	nodes := plat.NodesFor(c.NumTasks)
 	if c.FirstNode+nodes > plat.Nodes {
@@ -252,6 +259,10 @@ func hashLabel(s string) uint64 {
 	return h
 }
 
+// HashLabel is the RNG-fork key Run derives from a config label. Scenario
+// execution reuses it so a single-job scenario reproduces Run exactly.
+func HashLabel(s string) uint64 { return hashLabel(s) }
+
 // RunningJob is a job launched on a shared simulated system via StartJob.
 type RunningJob struct {
 	// Result fills in as repetitions complete.
@@ -300,6 +311,9 @@ func (j *job) launch() *mpi.World {
 	}
 	w.Launch(func(r *mpi.Rank) {
 		for rep := 0; rep < cfg.Reps; rep++ {
+			if rep > 0 && cfg.ComputeSeconds > 0 {
+				r.Proc().Sleep(cfg.ComputeSeconds)
+			}
 			f := files[rep]
 			if cfg.FilePerProc {
 				sub := w.Comm().Split(r, r.ID(), 0)

@@ -5,7 +5,10 @@ import (
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/core"
+	"pfsim/internal/lustre"
 	"pfsim/internal/mpiio"
+	"pfsim/internal/sim"
+	"pfsim/internal/stats"
 )
 
 func quietCab() *cluster.Platform {
@@ -42,6 +45,7 @@ func TestValidateErrors(t *testing.T) {
 		func(c *Config) { c.WriteFile = false },
 		func(c *Config) { c.FirstNode = -1 },
 		func(c *Config) { c.FirstNode = 1199 }, // 64-node job falls off the machine
+		func(c *Config) { c.ComputeSeconds = -1 },
 	}
 	for i, mut := range bad {
 		cfg := PaperConfig(1024)
@@ -49,6 +53,38 @@ func TestValidateErrors(t *testing.T) {
 		if err := cfg.Validate(plat); err == nil {
 			t.Errorf("mutation %d not rejected", i)
 		}
+	}
+}
+
+func TestComputeSecondsSpacesReps(t *testing.T) {
+	plat := quietCab()
+	cfg := PaperConfig(32)
+	cfg.Label = "spaced"
+	cfg.SegmentCount = 5
+	cfg.Reps = 3
+	cfg.Hints = TunedHints()
+	run := func(compute float64) (reps int, makespan float64) {
+		c := cfg
+		c.ComputeSeconds = compute
+		eng := sim.NewEngine()
+		sys := lustre.MustNewSystem(eng, plat, stats.NewRNG(plat.Seed))
+		rj, err := StartJob(sys, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rj.Result.Write.N(), eng.Now()
+	}
+	n0, t0 := run(0)
+	n1, t1 := run(200)
+	if n0 != 3 || n1 != 3 {
+		t.Fatalf("reps = %d / %d, want 3", n0, n1)
+	}
+	// Two 200 s compute gaps between three reps.
+	if got := t1 - t0; got < 399 || got > 401 {
+		t.Errorf("compute gaps added %v s, want ~400", got)
 	}
 }
 

@@ -152,16 +152,11 @@ func (e *Engine) RunUntil(tmax float64) error {
 	return nil
 }
 
-// Pending reports the number of queued (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of queued (uncancelled) events. Cancel
+// removes events from the queue eagerly, so the queue length is exactly
+// that count — O(1), where earlier revisions scanned the whole heap on
+// every call.
+func (e *Engine) Pending() int { return len(e.events) }
 
 // LiveProcs reports the number of processes that have started and not yet
 // finished.

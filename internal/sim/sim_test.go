@@ -65,6 +65,40 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestPendingTracksQueue(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func() {})
+	b := e.Schedule(2, func() {})
+	e.Schedule(3, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+	e.Cancel(b)
+	if e.Pending() != 2 {
+		t.Fatalf("pending after cancel = %d, want 2", e.Pending())
+	}
+	e.Cancel(b) // double cancel must not decrement again
+	if e.Pending() != 2 {
+		t.Fatalf("pending after double cancel = %d, want 2", e.Pending())
+	}
+	if err := e.RunUntil(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending after firing one = %d, want 1", e.Pending())
+	}
+	e.Cancel(a) // cancelling a fired event is a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancelling fired = %d, want 1", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", e.Pending())
+	}
+}
+
 func TestRunUntil(t *testing.T) {
 	e := NewEngine()
 	var fired []float64

@@ -6,11 +6,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/ior"
+	"pfsim/internal/pool"
 	"pfsim/internal/stats"
 )
 
@@ -65,6 +67,20 @@ type Options struct {
 	Reps int
 	// Base overrides the IOR workload (zero value: Table II settings).
 	Base *ior.Config
+
+	// Parallelism fans independent grid points across this many workers
+	// (1 = serial; values below one select GOMAXPROCS). Every point is an
+	// isolated deterministic simulation, so results are byte-identical at
+	// any parallelism.
+	Parallelism int
+	// Ctx aborts the sweep between points when cancelled (nil = never).
+	Ctx context.Context
+	// Progress, when set, is called after each completed point with the
+	// running and total point counts. Calls are serialised.
+	Progress func(done, total int)
+	// Seed overrides the platform RNG seed for every measurement (0 keeps
+	// the platform seed).
+	Seed uint64
 }
 
 func (o Options) baseConfig() ior.Config {
@@ -76,8 +92,10 @@ func (o Options) baseConfig() ior.Config {
 	return cfg
 }
 
-// Exhaustive measures every (count, size) combination — the linear search
-// of Section IV.
+// Exhaustive measures every (count, size) combination — the search of
+// Section IV. Each grid point is an independent deterministic simulation;
+// with opt.Parallelism != 1 the points fan across a worker pool and the
+// resulting grid is byte-identical to a serial sweep.
 func Exhaustive(plat *cluster.Platform, counts []int, sizesMB []float64, opt Options) (*Grid, error) {
 	if opt.Tasks <= 0 {
 		return nil, fmt.Errorf("sweep: Tasks must be positive")
@@ -86,20 +104,36 @@ func Exhaustive(plat *cluster.Platform, counts []int, sizesMB []float64, opt Opt
 		opt.Reps = 1
 	}
 	g := &Grid{Counts: counts, SizesMB: sizesMB, MBs: make([][]float64, len(counts))}
-	for i, count := range counts {
+	for i := range counts {
 		g.MBs[i] = make([]float64, len(sizesMB))
-		for j, size := range sizesMB {
-			bw, err := measure(plat, count, size, opt)
-			if err != nil {
-				return nil, err
-			}
-			g.MBs[i][j] = bw
+	}
+	total := len(counts) * len(sizesMB)
+	if total == 0 {
+		return g, nil
+	}
+	tick := pool.Progress(total, opt.Progress)
+	err := pool.Run(opt.Ctx, opt.Parallelism, total, func(k int) error {
+		i, j := k/len(sizesMB), k%len(sizesMB)
+		bw, err := measure(plat, counts[i], sizesMB[j], opt)
+		if err != nil {
+			return err
 		}
+		g.MBs[i][j] = bw
+		tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }
 
 func measure(plat *cluster.Platform, count int, sizeMB float64, opt Options) (float64, error) {
+	if opt.Seed != 0 && opt.Seed != plat.Seed {
+		reseeded := *plat
+		reseeded.Seed = opt.Seed
+		plat = &reseeded
+	}
 	cfg := opt.baseConfig()
 	cfg.Reps = opt.Reps
 	cfg.Label = fmt.Sprintf("sweep-c%d-s%g", count, sizeMB)
@@ -194,12 +228,46 @@ func Genetic(plat *cluster.Platform, opt GAOptions) (*GAResult, error) {
 		return bw, nil
 	}
 
+	// evaluate fills the memo cache for every distinct unseen genome in
+	// pop, fanning the independent simulations across the worker pool.
+	// Cache contents (and so Evaluations) do not depend on ordering.
+	evaluate := func(pop []genome) error {
+		var fresh []genome
+		seen := map[genome]bool{}
+		for _, g := range pop {
+			if _, ok := cache[g]; !ok && !seen[g] {
+				seen[g] = true
+				fresh = append(fresh, g)
+			}
+		}
+		bws := make([]float64, len(fresh))
+		err := pool.Run(opt.Ctx, opt.Parallelism, len(fresh), func(i int) error {
+			bw, err := measure(plat, opt.Counts[fresh[i].ci], opt.SizesMB[fresh[i].si], opt.Options)
+			if err != nil {
+				return err
+			}
+			bws[i] = bw
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, g := range fresh {
+			cache[g] = bws[i]
+			evals++
+		}
+		return nil
+	}
+
 	pop := make([]genome, opt.Population)
 	for i := range pop {
 		pop[i] = genome{rng.IntN(len(opt.Counts)), rng.IntN(len(opt.SizesMB))}
 	}
 	res := &GAResult{Best: Point{MBs: -1}}
 	for gen := 0; gen < opt.Generations; gen++ {
+		if err := evaluate(pop); err != nil {
+			return nil, err
+		}
 		scores := make([]float64, len(pop))
 		for i, g := range pop {
 			bw, err := fitness(g)

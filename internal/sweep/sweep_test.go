@@ -1,6 +1,9 @@
 package sweep
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"pfsim/internal/cluster"
@@ -84,6 +87,82 @@ func TestGridAt(t *testing.T) {
 func TestExhaustiveValidation(t *testing.T) {
 	if _, err := Exhaustive(quietCab(), []int{2}, []float64{1}, Options{}); err == nil {
 		t.Error("zero tasks accepted")
+	}
+}
+
+func TestExhaustiveParallelMatchesSerial(t *testing.T) {
+	plat := cluster.Cab() // jitter on: identity must survive randomness
+	counts := []int{8, 32, 64, 160}
+	sizes := []float64{1, 64, 128}
+	run := func(par int) *Grid {
+		var mu sync.Mutex
+		calls := 0
+		g, err := Exhaustive(plat, counts, sizes, Options{
+			Tasks: 256, Reps: 1, Base: smallBase(256), Parallelism: par,
+			Progress: func(done, total int) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				if total != len(counts)*len(sizes) {
+					t.Errorf("progress total = %d", total)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != len(counts)*len(sizes) {
+			t.Errorf("progress calls = %d", calls)
+		}
+		return g
+	}
+	serial, parallel := run(1), run(8)
+	for i := range counts {
+		for j := range sizes {
+			if serial.MBs[i][j] != parallel.MBs[i][j] {
+				t.Fatalf("grid[%d][%d]: %v != %v", i, j, serial.MBs[i][j], parallel.MBs[i][j])
+			}
+		}
+	}
+}
+
+func TestExhaustiveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := Exhaustive(quietCab(), []int{8, 16, 32, 64}, []float64{1, 64}, Options{
+		Tasks: 64, Reps: 1, Base: smallBase(64), Parallelism: 1, Ctx: ctx,
+		Progress: func(done, total int) {
+			ran = done
+			if done == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran > 2 {
+		t.Errorf("%d points ran after cancellation", ran)
+	}
+}
+
+func TestGeneticParallelMatchesSerial(t *testing.T) {
+	plat := quietCab()
+	run := func(par int) *GAResult {
+		res, err := Genetic(plat, GAOptions{
+			Options:     Options{Tasks: 64, Reps: 1, Base: smallBase(64), Parallelism: par},
+			Population:  4,
+			Generations: 3,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if serial.Best != parallel.Best || serial.Evaluations != parallel.Evaluations {
+		t.Errorf("GA diverges under parallelism: %+v vs %+v", serial, parallel)
 	}
 }
 

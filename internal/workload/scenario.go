@@ -1,0 +1,476 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+	"pfsim/internal/lustre"
+	"pfsim/internal/mpiio"
+	"pfsim/internal/sim"
+	"pfsim/internal/stats"
+)
+
+// Workload is one application in a contention scenario. Implementations
+// materialise themselves as an execution on the simulated I/O stack; the
+// scenario machinery handles placement, start times and striping hints.
+type Workload interface {
+	// Label names the workload in results (must be stable; the scenario
+	// deduplicates clashes).
+	Label() string
+	// Config materialises the workload as an IOR-engine execution for the
+	// given platform. FirstNode and hint overrides are applied afterwards
+	// by the scenario.
+	Config(plat *cluster.Platform) ior.Config
+}
+
+// IORJob wraps a raw IOR configuration as a scenario workload — the
+// striped collective writers of the paper's Sections IV and V.
+type IORJob struct {
+	Cfg ior.Config
+}
+
+// Label returns the configuration's label.
+func (w IORJob) Label() string { return w.Cfg.Label }
+
+// Config returns the wrapped configuration.
+func (w IORJob) Config(*cluster.Platform) ior.Config { return w.Cfg }
+
+// PLFSLogger is an n-rank application writing through ad_plfs: every rank
+// appends to its own two-stripe log, the self-contending pattern of the
+// paper's Section VI.
+type PLFSLogger struct {
+	// Name labels the job ("plfs-<ranks>" when empty).
+	Name string
+	// Ranks is the number of logging processes.
+	Ranks int
+	// MBPerRank is the volume each rank logs (default 400, the Table II
+	// per-rank volume).
+	MBPerRank float64
+	// TransferMB is the append granularity (default 1).
+	TransferMB float64
+	// Reps recreates the container this many times (default 1).
+	Reps int
+}
+
+// Label returns the job name.
+func (w PLFSLogger) Label() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	return fmt.Sprintf("plfs-%d", w.Ranks)
+}
+
+// Config materialises the logger as a PLFS-driver write.
+func (w PLFSLogger) Config(*cluster.Platform) ior.Config {
+	mb := w.MBPerRank
+	if mb <= 0 {
+		mb = 400
+	}
+	tr := w.TransferMB
+	if tr <= 0 {
+		tr = math.Min(1, mb)
+	}
+	reps := w.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	return ior.Config{
+		Label:          w.Label(),
+		API:            mpiio.DriverPLFS,
+		BlockSizeMB:    mb,
+		TransferSizeMB: tr,
+		SegmentCount:   1,
+		NumTasks:       w.Ranks,
+		WriteFile:      true,
+		Collective:     true,
+		Hints:          mpiio.NewHints(),
+		Reps:           reps,
+	}
+}
+
+// Checkpointer runs a Checkpoint application as a periodic writer: it
+// writes Checkpoints state dumps separated by the application's compute
+// phase, so its I/O bursts interleave with the other scenario jobs in
+// time rather than arriving back to back.
+type Checkpointer struct {
+	// Name labels the job ("checkpoint-<ranks>" when empty).
+	Name string
+	// App describes the checkpointing application.
+	App Checkpoint
+	// API selects the MPI-IO driver. The zero value (ad_ufs) is treated
+	// as unset and defaults to ad_lustre — a ufs checkpointer would
+	// silently discard its striping hints; wrap Checkpoint.IORConfig in
+	// an IORJob to express one deliberately.
+	API mpiio.Driver
+	// Hints are the striping hints (zero value: defaults).
+	Hints mpiio.Hints
+	// Checkpoints is the number of state dumps to write (default 1).
+	Checkpoints int
+}
+
+// Label returns the job name.
+func (w Checkpointer) Label() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	return fmt.Sprintf("checkpoint-%d", w.App.Ranks)
+}
+
+// Config materialises the checkpointer as a multi-repetition write with
+// compute gaps.
+func (w Checkpointer) Config(*cluster.Platform) ior.Config {
+	hints := w.Hints
+	if hints == (mpiio.Hints{}) {
+		hints = mpiio.NewHints()
+	}
+	api := w.API
+	if api == mpiio.DriverUFS {
+		api = mpiio.DriverLustre
+	}
+	cfg := w.App.IORConfig(api, hints)
+	cfg.Label = w.Label()
+	if w.Checkpoints > 1 {
+		cfg.Reps = w.Checkpoints
+	}
+	cfg.ComputeSeconds = w.App.ComputeSeconds
+	return cfg
+}
+
+// Job places one workload inside a scenario.
+type Job struct {
+	// Workload is the application to run.
+	Workload Workload
+	// StartAt delays the job's launch by this many virtual seconds after
+	// scenario start.
+	StartAt float64
+	// FirstNode pins the job's node range when positive. Zero (the
+	// default) packs the job onto the first nodes after the previously
+	// placed jobs.
+	FirstNode int
+	// Stripes overrides the workload's striping_factor hint when positive.
+	Stripes int
+	// StripeSizeMB overrides the striping_unit hint when positive.
+	StripeSizeMB float64
+}
+
+// Scenario composes an arbitrary heterogeneous mix of workloads sharing
+// one simulated file system — the generalisation of the paper's "n
+// identical striped jobs" contention shape.
+type Scenario struct {
+	// Name seeds the scenario's RNG stream (with the job labels) and
+	// titles reports.
+	Name string
+	// Jobs are the concurrent applications.
+	Jobs []Job
+}
+
+// NewScenario returns a named scenario over the given jobs.
+func NewScenario(name string, jobs ...Job) Scenario {
+	return Scenario{Name: name, Jobs: jobs}
+}
+
+// Add appends a job and returns the scenario for chaining.
+func (s Scenario) Add(job Job) Scenario {
+	s.Jobs = append(s.Jobs, job)
+	return s
+}
+
+// UniformScenario returns n copies of one workload on disjoint
+// auto-placed node ranges — the paper's Section V scenario as a special
+// case.
+func UniformScenario(name string, w Workload, n int) Scenario {
+	s := Scenario{Name: name}
+	for i := 0; i < n; i++ {
+		s.Jobs = append(s.Jobs, Job{Workload: w})
+	}
+	return s
+}
+
+// Scenario converts the mix into a scenario of striped IOR jobs.
+func (m JobMix) Scenario(name string) (Scenario, error) {
+	if err := m.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	s := Scenario{Name: name}
+	for i := range m.Tasks {
+		cfg := ior.PaperConfig(m.Tasks[i])
+		cfg.Label = fmt.Sprintf("mix-job%d", i)
+		s.Jobs = append(s.Jobs, Job{
+			Workload:     IORJob{Cfg: cfg},
+			Stripes:      m.Requests[i],
+			StripeSizeMB: m.SizesMB[i],
+		})
+	}
+	return s, nil
+}
+
+// title names the scenario in errors ("scenario" when unnamed).
+func (s Scenario) title() string {
+	if s.Name == "" {
+		return "scenario"
+	}
+	return fmt.Sprintf("scenario %q", s.Name)
+}
+
+// materialise resolves every job to a placed, validated configuration.
+func (s Scenario) materialise(plat *cluster.Platform) ([]ior.Config, error) {
+	if len(s.Jobs) == 0 {
+		return nil, fmt.Errorf("workload: %s has no jobs", s.title())
+	}
+	type span struct{ from, to int }
+	var spans []span
+	seen := map[string]int{}
+	cursor := 0
+	cfgs := make([]ior.Config, len(s.Jobs))
+	for i, job := range s.Jobs {
+		if job.Workload == nil {
+			return nil, fmt.Errorf("workload: %s job %d has no workload", s.title(), i)
+		}
+		if job.StartAt < 0 || math.IsNaN(job.StartAt) {
+			return nil, fmt.Errorf("workload: %s job %d: StartAt %v must be non-negative",
+				s.title(), i, job.StartAt)
+		}
+		cfg := job.Workload.Config(plat)
+		base := cfg.Label
+		if n := seen[base]; n > 0 {
+			cfg.Label = fmt.Sprintf("%s-job%d", base, n)
+		}
+		seen[base]++
+		if job.Stripes > 0 {
+			cfg.Hints.StripingFactor = job.Stripes
+		}
+		if job.StripeSizeMB > 0 {
+			cfg.Hints.StripingUnitMB = job.StripeSizeMB
+		}
+		if job.FirstNode > 0 {
+			cfg.FirstNode = job.FirstNode
+		} else {
+			cfg.FirstNode = cursor
+		}
+		if err := cfg.Validate(plat); err != nil {
+			return nil, fmt.Errorf("workload: %s job %q: %w", s.title(), cfg.Label, err)
+		}
+		sp := span{cfg.FirstNode, cfg.FirstNode + plat.NodesFor(cfg.NumTasks) - 1}
+		for j, other := range spans {
+			if sp.from <= other.to && other.from <= sp.to {
+				return nil, fmt.Errorf("workload: %s: job %q overlaps job %q on nodes %d..%d",
+					s.title(), cfg.Label, cfgs[j].Label, max(sp.from, other.from), min(sp.to, other.to))
+			}
+		}
+		spans = append(spans, sp)
+		if sp.to+1 > cursor {
+			cursor = sp.to + 1
+		}
+		cfgs[i] = cfg
+	}
+	return cfgs, nil
+}
+
+// seedHash mixes the scenario name and job labels into the RNG-fork key.
+// An unnamed single-job scenario hashes to ior.HashLabel(label), so it
+// reproduces ior.Run byte for byte.
+func (s Scenario) seedHash(cfgs []ior.Config) uint64 {
+	var h uint64
+	if s.Name != "" {
+		h = ior.HashLabel(s.Name)
+	}
+	for _, cfg := range cfgs {
+		h ^= ior.HashLabel(cfg.Label)
+	}
+	return h
+}
+
+// JobResult is the outcome of one scenario job.
+type JobResult struct {
+	// Label names the job.
+	Label string
+	// Config is the materialised configuration the job ran with.
+	Config ior.Config
+	// IOR holds the per-repetition bandwidth samples and layouts.
+	IOR *ior.Result
+	// StartAt and FinishedAt bound the job in virtual time.
+	StartAt    float64
+	FinishedAt float64
+	// SoloMBs is the job's mean write bandwidth on an idle system (0
+	// until a baseline pass fills it in).
+	SoloMBs float64
+	// Slowdown is SoloMBs over the contended mean (0 until baselines are
+	// filled in; 1 means the job was unaffected by its neighbours).
+	Slowdown float64
+}
+
+// WriteMBs is the job's mean aggregate write bandwidth under contention.
+func (jr *JobResult) WriteMBs() float64 { return jr.IOR.Write.Mean() }
+
+// Aggregate summarises a scenario across its jobs.
+type Aggregate struct {
+	// MeanMBs / MinMBs / MaxMBs summarise per-job mean write bandwidth.
+	MeanMBs, MinMBs, MaxMBs float64
+	// TotalMBs is the sum of per-job means — the file system's delivered
+	// bandwidth.
+	TotalMBs float64
+	// MeanSlowdown / MaxSlowdown summarise slowdown vs solo (0 when no
+	// baselines were computed).
+	MeanSlowdown, MaxSlowdown float64
+}
+
+// Result is the outcome of one scenario execution.
+type Result struct {
+	// Scenario is the executed scenario.
+	Scenario Scenario
+	// Jobs holds one result per scenario job, in scenario order.
+	Jobs []JobResult
+	// Makespan is the virtual time at which the last job finished.
+	Makespan float64
+}
+
+// Aggregate computes cross-job summary statistics.
+func (r *Result) Aggregate() Aggregate {
+	var a Aggregate
+	if len(r.Jobs) == 0 {
+		return a
+	}
+	a.MinMBs = math.Inf(1)
+	slowdowns := 0
+	for i := range r.Jobs {
+		bw := r.Jobs[i].WriteMBs()
+		a.TotalMBs += bw
+		a.MinMBs = math.Min(a.MinMBs, bw)
+		a.MaxMBs = math.Max(a.MaxMBs, bw)
+		if sd := r.Jobs[i].Slowdown; sd > 0 {
+			a.MeanSlowdown += sd
+			a.MaxSlowdown = math.Max(a.MaxSlowdown, sd)
+			slowdowns++
+		}
+	}
+	a.MeanMBs = a.TotalMBs / float64(len(r.Jobs))
+	if slowdowns > 0 {
+		a.MeanSlowdown /= float64(slowdowns)
+	}
+	return a
+}
+
+// Job returns the result labelled label (nil when absent).
+func (r *Result) Job(label string) *JobResult {
+	for i := range r.Jobs {
+		if r.Jobs[i].Label == label {
+			return &r.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// RunScenario executes the scenario on one simulated system: every job
+// launches at its StartAt on its node range, sharing the MDS, network and
+// OSTs. The run is deterministic for a given (platform, scenario, seed)
+// triple; seed 0 selects plat.Seed. Slowdown baselines are not computed
+// here — see SoloConfigs. Instrument hooks run against the freshly built
+// system before any job launches (e.g. to attach a trace recorder).
+func RunScenario(plat *cluster.Platform, s Scenario, seed uint64, instrument ...func(*lustre.System)) (*Result, error) {
+	cfgs, err := s.materialise(plat)
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = plat.Seed
+	}
+	eng := sim.NewEngine()
+	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(seed).Fork(s.seedHash(cfgs)))
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range instrument {
+		fn(sys)
+	}
+	res := &Result{Scenario: s, Jobs: make([]JobResult, len(cfgs))}
+	running := make([]*ior.RunningJob, len(cfgs))
+	var launchErr error
+	for i := range cfgs {
+		i := i
+		res.Jobs[i] = JobResult{Label: cfgs[i].Label, Config: cfgs[i], StartAt: s.Jobs[i].StartAt}
+		start := func() {
+			rj, err := ior.StartJob(sys, cfgs[i])
+			if err != nil {
+				if launchErr == nil {
+					launchErr = err
+				}
+				eng.Stop()
+				return
+			}
+			running[i] = rj
+			res.Jobs[i].IOR = rj.Result
+			eng.Spawn(cfgs[i].Label+"-watch", func(p *sim.Proc) {
+				p.Wait(rj.Done)
+				res.Jobs[i].FinishedAt = p.Now()
+			})
+		}
+		if s.Jobs[i].StartAt > 0 {
+			eng.Schedule(s.Jobs[i].StartAt, start)
+		} else {
+			start()
+		}
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("workload: %s failed: %w", s.title(), err)
+	}
+	if launchErr != nil {
+		return nil, launchErr
+	}
+	for i := range running {
+		if err := running[i].Err(); err != nil {
+			return nil, err
+		}
+		if res.Jobs[i].FinishedAt > res.Makespan {
+			res.Makespan = res.Jobs[i].FinishedAt
+		}
+	}
+	return res, nil
+}
+
+// soloKey identifies configurations that share a baseline: placement does
+// not affect a solo run, everything else does.
+func soloKey(cfg ior.Config) ior.Config {
+	cfg.Label = ""
+	cfg.FirstNode = 0
+	return cfg
+}
+
+// SoloConfigs returns one representative configuration per distinct job
+// shape in the result, keyed for ApplySolo. Baselines are independent
+// single-job simulations, so callers can fan them across a worker pool.
+func (r *Result) SoloConfigs() []ior.Config {
+	seen := map[ior.Config]bool{}
+	var out []ior.Config
+	for i := range r.Jobs {
+		key := soloKey(r.Jobs[i].Config)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cfg := r.Jobs[i].Config
+		cfg.FirstNode = 0
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// ApplySolo fills in SoloMBs and Slowdown from baseline results produced
+// by running SoloConfigs; the map key is the baseline's config as
+// returned by SoloConfigs.
+func (r *Result) ApplySolo(baselines map[ior.Config]*ior.Result) {
+	for i := range r.Jobs {
+		jr := &r.Jobs[i]
+		for cfg, base := range baselines {
+			if soloKey(cfg) != soloKey(jr.Config) {
+				continue
+			}
+			jr.SoloMBs = base.Write.Mean()
+			if bw := jr.WriteMBs(); bw > 0 {
+				jr.Slowdown = jr.SoloMBs / bw
+			}
+			break
+		}
+	}
+}

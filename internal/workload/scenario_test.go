@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+	"pfsim/internal/mpiio"
+)
+
+func quietCab() *cluster.Platform {
+	p := cluster.Cab()
+	p.JitterCV = 0
+	return p
+}
+
+// smallIOR is a fast tuned collective writer for scenario tests.
+func smallIOR(label string, tasks int) ior.Config {
+	cfg := ior.PaperConfig(tasks)
+	cfg.Label = label
+	cfg.SegmentCount = 5
+	cfg.Reps = 1
+	cfg.Hints = ior.TunedHints()
+	return cfg
+}
+
+func TestSingleJobScenarioMatchesIORRun(t *testing.T) {
+	plat := cluster.Cab() // jitter on: exact match must survive randomness
+	cfg := smallIOR("match", 64)
+	direct, err := ior.Run(plat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(plat, Scenario{Jobs: []Job{{Workload: IORJob{Cfg: cfg}}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := res.Jobs[0].IOR.Write.Values(), direct.Write.Values()
+	if len(got) != len(want) {
+		t.Fatalf("rep counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rep %d: scenario %v != ior.Run %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeterogeneousScenario(t *testing.T) {
+	plat := quietCab()
+	sc := NewScenario("hetero",
+		Job{Workload: IORJob{Cfg: smallIOR("striped", 128)}},
+		Job{Workload: PLFSLogger{Ranks: 256, MBPerRank: 20}},
+	)
+	res, err := RunScenario(plat, sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	if res.Jobs[0].Label != "striped" || res.Jobs[1].Label != "plfs-256" {
+		t.Errorf("labels = %q, %q", res.Jobs[0].Label, res.Jobs[1].Label)
+	}
+	// Auto-placement: the PLFS job sits after the striped job's nodes.
+	if res.Jobs[1].Config.FirstNode != plat.NodesFor(128) {
+		t.Errorf("plfs FirstNode = %d, want %d", res.Jobs[1].Config.FirstNode, plat.NodesFor(128))
+	}
+	for i := range res.Jobs {
+		if res.Jobs[i].WriteMBs() <= 0 {
+			t.Errorf("job %d: no bandwidth", i)
+		}
+		if res.Jobs[i].FinishedAt <= 0 {
+			t.Errorf("job %d: no finish time", i)
+		}
+	}
+	if res.Makespan < res.Jobs[0].FinishedAt || res.Makespan < res.Jobs[1].FinishedAt {
+		t.Error("makespan below a job finish time")
+	}
+	agg := res.Aggregate()
+	if agg.TotalMBs <= 0 || agg.MinMBs > agg.MaxMBs || agg.MeanMBs <= 0 {
+		t.Errorf("aggregate wrong: %+v", agg)
+	}
+	if res.Job("striped") == nil || res.Job("nope") != nil {
+		t.Error("Job lookup broken")
+	}
+}
+
+func TestScenarioDeterministicForSeed(t *testing.T) {
+	plat := cluster.Cab() // jitter on
+	run := func() *Result {
+		sc := NewScenario("det",
+			Job{Workload: IORJob{Cfg: smallIOR("a", 64)}},
+			Job{Workload: PLFSLogger{Ranks: 128, MBPerRank: 10}},
+		)
+		res, err := RunScenario(plat, sc, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Jobs {
+		av, bv := a.Jobs[i].IOR.Write.Values(), b.Jobs[i].IOR.Write.Values()
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("job %d rep %d: %v != %v", i, j, av[j], bv[j])
+			}
+		}
+		if a.Jobs[i].FinishedAt != b.Jobs[i].FinishedAt {
+			t.Fatalf("job %d finish times differ", i)
+		}
+	}
+	// A different seed must actually change the draw.
+	c, err := RunScenario(plat, NewScenario("det",
+		Job{Workload: IORJob{Cfg: smallIOR("a", 64)}},
+		Job{Workload: PLFSLogger{Ranks: 128, MBPerRank: 10}},
+	), 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs[0].IOR.Write.Values()[0] == a.Jobs[0].IOR.Write.Values()[0] {
+		t.Error("seed change did not perturb the run")
+	}
+}
+
+func TestScenarioStartTimes(t *testing.T) {
+	plat := quietCab()
+	sc := NewScenario("staggered",
+		Job{Workload: IORJob{Cfg: smallIOR("early", 64)}},
+		Job{Workload: IORJob{Cfg: smallIOR("late", 64)}, StartAt: 1000},
+	)
+	res, err := RunScenario(plat, sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[1].FinishedAt < 1000 {
+		t.Errorf("late job finished at %v, before its start time", res.Jobs[1].FinishedAt)
+	}
+	if res.Jobs[0].FinishedAt >= res.Jobs[1].FinishedAt {
+		t.Error("early job should finish before the late one")
+	}
+}
+
+func TestScenarioDuplicateLabelsRenamed(t *testing.T) {
+	plat := quietCab()
+	sc := UniformScenario("uniform", IORJob{Cfg: smallIOR("same", 32)}, 3)
+	res, err := RunScenario(plat, sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range res.Jobs {
+		if seen[res.Jobs[i].Label] {
+			t.Fatalf("duplicate label %q", res.Jobs[i].Label)
+		}
+		seen[res.Jobs[i].Label] = true
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	plat := quietCab()
+	if _, err := RunScenario(plat, Scenario{Name: "empty"}, 0); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	if _, err := RunScenario(plat, NewScenario("nil", Job{}), 0); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := RunScenario(plat, NewScenario("neg",
+		Job{Workload: IORJob{Cfg: smallIOR("x", 32)}, StartAt: -1}), 0); err == nil {
+		t.Error("negative start accepted")
+	}
+	// Pinned overlap: both jobs claim node 4.
+	_, err := RunScenario(plat, NewScenario("overlap",
+		Job{Workload: IORJob{Cfg: smallIOR("p", 32)}, FirstNode: 4},
+		Job{Workload: IORJob{Cfg: smallIOR("q", 32)}, FirstNode: 4},
+	), 0)
+	if err == nil || !strings.Contains(err.Error(), "overlaps") {
+		t.Errorf("overlap not rejected: %v", err)
+	}
+}
+
+func TestScenarioStripeOverrides(t *testing.T) {
+	plat := quietCab()
+	sc := NewScenario("hints",
+		Job{Workload: IORJob{Cfg: smallIOR("j", 32)}, Stripes: 48, StripeSizeMB: 64})
+	res, err := RunScenario(plat, sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Jobs[0].Config.Hints
+	if h.StripingFactor != 48 || h.StripingUnitMB != 64 {
+		t.Errorf("hints = %+v", h)
+	}
+}
+
+func TestSoloBaselines(t *testing.T) {
+	plat := quietCab()
+	sc := UniformScenario("base", IORJob{Cfg: smallIOR("same", 64)}, 2)
+	res, err := RunScenario(plat, sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solos := res.SoloConfigs()
+	if len(solos) != 1 {
+		t.Fatalf("identical jobs should share one baseline, got %d", len(solos))
+	}
+	base, err := ior.Run(plat, solos[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ApplySolo(map[ior.Config]*ior.Result{solos[0]: base})
+	for i := range res.Jobs {
+		if res.Jobs[i].SoloMBs != base.Write.Mean() {
+			t.Errorf("job %d solo = %v", i, res.Jobs[i].SoloMBs)
+		}
+		if res.Jobs[i].Slowdown < 1 {
+			t.Errorf("job %d slowdown = %v, contention should not speed jobs up",
+				i, res.Jobs[i].Slowdown)
+		}
+	}
+	agg := res.Aggregate()
+	if agg.MeanSlowdown < 1 || agg.MaxSlowdown < agg.MeanSlowdown {
+		t.Errorf("aggregate slowdowns wrong: %+v", agg)
+	}
+}
+
+func TestCheckpointerSpacing(t *testing.T) {
+	plat := quietCab()
+	app := Checkpoint{Ranks: 32, StateMBPerRank: 10, ComputeSeconds: 500, MTBFSeconds: 86400}
+	ck := Checkpointer{App: app, API: mpiio.DriverLustre, Hints: ior.TunedHints(), Checkpoints: 3}
+	res, err := RunScenario(plat, NewScenario("", Job{Workload: ck}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three checkpoints with two 500 s compute phases between them: the
+	// job cannot finish before 1,000 s of virtual time.
+	if res.Jobs[0].FinishedAt < 1000 {
+		t.Errorf("finished at %v, want >= 1000 (compute gaps missing)", res.Jobs[0].FinishedAt)
+	}
+	if n := res.Jobs[0].IOR.Write.N(); n != 3 {
+		t.Errorf("checkpoints recorded = %d, want 3", n)
+	}
+}
+
+func TestJobMixScenario(t *testing.T) {
+	m := Uniform(3, 64, 96, 64)
+	sc, err := m.Scenario("mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(sc.Jobs))
+	}
+	res, err := RunScenario(quietCab(), sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Jobs {
+		if res.Jobs[i].Config.Hints.StripingFactor != 96 {
+			t.Errorf("job %d stripes = %d", i, res.Jobs[i].Config.Hints.StripingFactor)
+		}
+	}
+	bad := JobMix{Tasks: []int{1}, Requests: []int{1, 2}, SizesMB: []float64{1}}
+	if _, err := bad.Scenario("bad"); err == nil {
+		t.Error("ragged mix accepted")
+	}
+}

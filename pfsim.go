@@ -51,6 +51,10 @@ type FileSystem = core.FileSystem
 // Lscratchc returns the 480-OST file system of the paper.
 func Lscratchc() FileSystem { return core.Lscratchc() }
 
+// StampedeFS returns the 160-OST file-system view of Stampede analysed in
+// Table VI.
+func StampedeFS() FileSystem { return core.Stampede() }
+
 // LoadRow is one row of the paper's load tables.
 type LoadRow = core.LoadRow
 
@@ -137,29 +141,44 @@ func TunedIOR(tasks int) IORConfig {
 // TunedHints returns the paper's optimal hints.
 func TunedHints() Hints { return ior.TunedHints() }
 
-// RunIOR executes one IOR configuration on a fresh simulated system.
+// RunIOR executes one IOR configuration on a fresh simulated system. It
+// is a thin wrapper over the Scenario/Runner API: a single-job scenario
+// run serially, byte-identical to earlier releases.
 func RunIOR(plat *Platform, cfg IORConfig) (*IORResult, error) {
-	return ior.Run(plat, cfg)
+	return NewRunner(WithParallelism(1), WithoutSlowdowns()).RunIOR(plat, cfg)
 }
 
 // RunContended executes n simultaneous copies of cfg on one simulated
-// system (disjoint node ranges), the Section V scenario.
+// system (disjoint node ranges), the Section V scenario. It is a thin
+// wrapper over Runner.RunContended; use a Runner directly for
+// heterogeneous mixes, start times, or slowdown reporting. The Scenario
+// engine forks its RNG from the job labels, a different stream than the
+// pre-Scenario releases (and than internal/ior.RunContended): per-run
+// numbers shift slightly, distributions and every reproduced shape do
+// not.
 func RunContended(plat *Platform, cfg IORConfig, n int) ([]*IORResult, error) {
-	return ior.RunContended(plat, cfg, n)
+	return NewRunner(WithParallelism(1), WithoutSlowdowns()).RunContended(plat, cfg, n)
 }
 
 // SweepPoint is one sampled configuration of a parameter search.
 type SweepPoint = sweep.Point
 
+// SweepGrid is the result of an exhaustive sweep.
+type SweepGrid = sweep.Grid
+
+// SweepOptions configures a sweep run (workload shape; the Runner
+// supplies parallelism, context and progress).
+type SweepOptions = sweep.Options
+
+// SweepCounts returns the paper's Figure 1 stripe-count axis for a
+// platform.
+func SweepCounts(plat *Platform) []int { return sweep.CountsUpTo(plat) }
+
 // Autotune performs the exhaustive (count × size) sweep of Section IV and
-// returns the optimum. Reps controls repetitions per configuration.
+// returns the optimum. Reps controls repetitions per configuration. It is
+// a thin wrapper over Runner.Autotune with one worker per core.
 func Autotune(plat *Platform, tasks, reps int) (SweepPoint, error) {
-	grid, err := sweep.Exhaustive(plat, sweep.CountsUpTo(plat),
-		[]float64{1, 32, 64, 128, 256}, sweep.Options{Tasks: tasks, Reps: reps})
-	if err != nil {
-		return SweepPoint{}, err
-	}
-	return grid.Best(), nil
+	return NewRunner().Autotune(plat, tasks, reps)
 }
 
 // Checkpoint models a periodically checkpointing application.

@@ -1,0 +1,275 @@
+package pfsim
+
+import (
+	"context"
+	"fmt"
+
+	"pfsim/internal/ior"
+	"pfsim/internal/pool"
+	"pfsim/internal/sweep"
+	"pfsim/internal/workload"
+)
+
+// Runner executes scenarios, repetitions and sweep grids. Each simulation
+// is single-threaded and deterministic, so the Runner fans independent
+// simulations across a worker pool: results are byte-identical at any
+// parallelism, only wall-clock time changes.
+//
+// The zero configuration (NewRunner()) uses the platform seed, a
+// background context, and one worker per available core.
+type Runner struct {
+	seed        uint64
+	ctx         context.Context
+	parallelism int
+	progress    func(done, total int)
+	slowdowns   bool
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithSeed overrides the platform's RNG seed for every simulation the
+// Runner launches (0 keeps the platform seed).
+func WithSeed(seed uint64) RunnerOption {
+	return func(r *Runner) { r.seed = seed }
+}
+
+// WithContext aborts in-flight work between simulations when ctx is
+// cancelled; the partial result is discarded and the context error
+// returned.
+func WithContext(ctx context.Context) RunnerOption {
+	return func(r *Runner) {
+		if ctx != nil {
+			r.ctx = ctx
+		}
+	}
+}
+
+// WithParallelism sets the worker-pool width for independent simulations
+// (1 = serial; values below one select GOMAXPROCS, the default).
+func WithParallelism(n int) RunnerOption {
+	return func(r *Runner) { r.parallelism = n }
+}
+
+// WithProgress installs a callback invoked after each completed
+// simulation unit with (done, total) counts. Calls are serialised and
+// arrive in done order.
+func WithProgress(fn func(done, total int)) RunnerOption {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// WithoutSlowdowns skips the per-job solo baseline runs, leaving
+// ScenarioResult slowdown fields zero. Use it when only contended
+// bandwidth matters and the extra simulations are unwelcome.
+func WithoutSlowdowns() RunnerOption {
+	return func(r *Runner) { r.slowdowns = false }
+}
+
+// NewRunner returns a Runner configured by the given options.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{ctx: context.Background(), slowdowns: true}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// RunScenario executes the scenario on plat: one deterministic simulation
+// in which every job launches at its start time on its node range,
+// sharing the metadata server, network and OSTs. Unless WithoutSlowdowns
+// is set, one solo baseline per distinct job shape then runs across the
+// worker pool and each job's slowdown vs running alone is filled in.
+func (r *Runner) RunScenario(plat *Platform, sc Scenario) (*ScenarioResult, error) {
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := workload.RunScenario(plat, sc, r.seed)
+	if err != nil {
+		return nil, err
+	}
+	if !r.slowdowns {
+		return res, nil
+	}
+	if err := r.applySlowdownsAll(plat, []*ScenarioResult{res}, []uint64{r.seed}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSolo executes one configuration alone via a single-job scenario
+// (which reproduces ior.Run exactly); seed 0 selects the platform seed.
+func (r *Runner) runSolo(plat *Platform, cfg IORConfig, seed uint64) (*IORResult, error) {
+	res, err := workload.RunScenario(plat, Scenario{
+		Jobs: []ScenarioJob{{Workload: workload.IORJob{Cfg: cfg}}},
+	}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Jobs[0].IOR, nil
+}
+
+// RunScenarios executes several independent scenarios across the worker
+// pool, in input order. Scenario i fails the whole call if it errors.
+func (r *Runner) RunScenarios(plat *Platform, scs []Scenario) ([]*ScenarioResult, error) {
+	out := make([]*ScenarioResult, len(scs))
+	tick := pool.Progress(len(scs), r.progress)
+	err := pool.Run(r.ctx, r.parallelism, len(scs), func(i int) error {
+		res, err := workload.RunScenario(plat, scs[i], r.seed)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.slowdowns {
+		seeds := make([]uint64, len(out))
+		for i := range seeds {
+			seeds[i] = r.seed
+		}
+		if err := r.applySlowdownsAll(plat, out, seeds); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Repeat executes n independent replicas of the scenario across the
+// worker pool. Replica i runs with seed base+i (base is the WithSeed
+// value, or the platform seed), so each replica redraws OST layouts and
+// service jitter: the spread across replicas is the run-to-run variance
+// the paper reports as 95% confidence intervals.
+func (r *Runner) Repeat(plat *Platform, sc Scenario, n int) ([]*ScenarioResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pfsim: need at least one repetition")
+	}
+	base := r.seed
+	if base == 0 {
+		base = plat.Seed
+	}
+	out := make([]*ScenarioResult, n)
+	tick := pool.Progress(n, r.progress)
+	err := pool.Run(r.ctx, r.parallelism, n, func(i int) error {
+		res, err := workload.RunScenario(plat, sc, base+uint64(i))
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.slowdowns {
+		seeds := make([]uint64, n)
+		for i := range seeds {
+			seeds[i] = base + uint64(i)
+		}
+		if err := r.applySlowdownsAll(plat, out, seeds); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// applySlowdownsAll runs the solo baselines for every result in one flat
+// pool pass (result i's baselines use seeds[i]), so the baseline half of
+// a batch keeps the same parallel width as the scenario half.
+func (r *Runner) applySlowdownsAll(plat *Platform, results []*ScenarioResult, seeds []uint64) error {
+	type unit struct {
+		cfg  IORConfig
+		seed uint64
+	}
+	var units []unit
+	solos := make([][]ior.Config, len(results))
+	for i, res := range results {
+		solos[i] = res.SoloConfigs()
+		for _, cfg := range solos[i] {
+			units = append(units, unit{cfg: cfg, seed: seeds[i]})
+		}
+	}
+	baselines := make([]*ior.Result, len(units))
+	tick := pool.Progress(len(units), r.progress)
+	err := pool.Run(r.ctx, r.parallelism, len(units), func(k int) error {
+		base, err := r.runSolo(plat, units[k].cfg, units[k].seed)
+		if err != nil {
+			return fmt.Errorf("pfsim: solo baseline for %q: %w", units[k].cfg.Label, err)
+		}
+		baselines[k] = base
+		tick()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	k := 0
+	for i, res := range results {
+		byCfg := make(map[IORConfig]*IORResult, len(solos[i]))
+		for range solos[i] {
+			byCfg[units[k].cfg] = baselines[k]
+			k++
+		}
+		res.ApplySolo(byCfg)
+	}
+	return nil
+}
+
+// RunIOR executes one IOR configuration on a fresh simulated system — the
+// single-job scenario. With the default seed this reproduces the classic
+// serial path byte for byte.
+func (r *Runner) RunIOR(plat *Platform, cfg IORConfig) (*IORResult, error) {
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.runSolo(plat, cfg, r.seed)
+}
+
+// RunContended executes n simultaneous copies of cfg on one simulated
+// system (disjoint node ranges) and returns the per-job results — the
+// Section V scenario expressed on the Scenario API.
+func (r *Runner) RunContended(plat *Platform, cfg IORConfig, n int) ([]*IORResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pfsim: need at least one job")
+	}
+	res, err := workload.RunScenario(plat, contendedScenario(cfg, n), r.seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*IORResult, len(res.Jobs))
+	for i := range res.Jobs {
+		out[i] = res.Jobs[i].IOR
+	}
+	return out, nil
+}
+
+// Sweep measures every (stripe count, stripe size) combination for the
+// given options across the worker pool — the Section IV exhaustive search
+// with free parallel speedup. The grid is byte-identical to a serial
+// sweep.
+func (r *Runner) Sweep(plat *Platform, counts []int, sizesMB []float64, opt SweepOptions) (*SweepGrid, error) {
+	opt.Parallelism = r.parallelism
+	opt.Ctx = r.ctx
+	if opt.Seed == 0 {
+		opt.Seed = r.seed
+	}
+	if r.progress != nil && opt.Progress == nil {
+		opt.Progress = r.progress
+	}
+	return sweep.Exhaustive(plat, counts, sizesMB, opt)
+}
+
+// Autotune performs the exhaustive (count × size) sweep of Section IV on
+// the worker pool and returns the optimum. Reps controls repetitions per
+// configuration.
+func (r *Runner) Autotune(plat *Platform, tasks, reps int) (SweepPoint, error) {
+	grid, err := r.Sweep(plat, sweep.CountsUpTo(plat),
+		[]float64{1, 32, 64, 128, 256}, SweepOptions{Tasks: tasks, Reps: reps})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return grid.Best(), nil
+}

@@ -1,0 +1,74 @@
+package pfsim
+
+import (
+	"fmt"
+
+	"pfsim/internal/workload"
+)
+
+// Workload is one application in a contention Scenario. IORWorkload,
+// PLFSWorkload and CheckpointWorkload cover the paper's application
+// shapes; implement the interface directly for custom ones.
+type Workload = workload.Workload
+
+// ScenarioJob places one workload inside a Scenario: a start time, an
+// optional pinned node range, and optional striping-hint overrides.
+type ScenarioJob = workload.Job
+
+// Scenario composes an arbitrary heterogeneous mix of workloads sharing
+// one simulated file system — the generalisation of the paper's "n
+// identical striped jobs" contention experiments.
+type Scenario = workload.Scenario
+
+// ScenarioResult is the outcome of one Scenario execution: per-job
+// bandwidth, timing, slowdown vs a solo run, and aggregate statistics.
+type ScenarioResult = workload.Result
+
+// ScenarioJobResult is the per-job part of a ScenarioResult.
+type ScenarioJobResult = workload.JobResult
+
+// ScenarioAggregate summarises a scenario across its jobs.
+type ScenarioAggregate = workload.Aggregate
+
+// NewScenario returns a named scenario over the given jobs.
+func NewScenario(name string, jobs ...ScenarioJob) Scenario {
+	return workload.NewScenario(name, jobs...)
+}
+
+// UniformScenario returns n copies of one workload on disjoint
+// auto-placed node ranges — the paper's Section V scenario as a special
+// case of the heterogeneous API.
+func UniformScenario(name string, w Workload, n int) Scenario {
+	return workload.UniformScenario(name, w, n)
+}
+
+// IORWorkload wraps an IOR configuration as a scenario workload — the
+// striped collective writers of Sections IV and V.
+func IORWorkload(cfg IORConfig) Workload { return workload.IORJob{Cfg: cfg} }
+
+// PLFSWorkload returns an n-rank application logging through ad_plfs
+// (Section VI): every rank appends to its own two-stripe log, so the job
+// self-contends at scale. mbPerRank <= 0 selects the Table II volume
+// (400 MB).
+func PLFSWorkload(ranks int, mbPerRank float64) Workload {
+	return workload.PLFSLogger{Ranks: ranks, MBPerRank: mbPerRank}
+}
+
+// CheckpointWorkload runs a periodically checkpointing application:
+// checkpoints state dumps through the given hints, separated by the
+// application's compute phase of virtual time.
+func CheckpointWorkload(app Checkpoint, hints Hints, checkpoints int) Workload {
+	return workload.Checkpointer{App: app, API: DriverLustre, Hints: hints, Checkpoints: checkpoints}
+}
+
+// contendedScenario is the RunContended shape on the new API: n copies of
+// base on disjoint node ranges, all started at time zero.
+func contendedScenario(base IORConfig, n int) Scenario {
+	sc := Scenario{Name: base.Label}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Label = fmt.Sprintf("%s-job%d", base.Label, i)
+		sc.Jobs = append(sc.Jobs, ScenarioJob{Workload: workload.IORJob{Cfg: cfg}})
+	}
+	return sc
+}
