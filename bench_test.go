@@ -15,6 +15,9 @@ import (
 	"testing"
 
 	"pfsim/internal/experiments"
+	"pfsim/internal/flow"
+	"pfsim/internal/lustre"
+	"pfsim/internal/workload"
 )
 
 // benchExperiment runs one registered experiment per iteration, reporting
@@ -240,6 +243,64 @@ func BenchmarkScenarioHeterogeneous(b *testing.B) {
 		if len(res.Jobs) != 2 || res.Jobs[0].Slowdown <= 0 {
 			b.Fatal("scenario result malformed")
 		}
+	}
+}
+
+// solver1024Scenario is the solver-stress shape: 512 file-per-process
+// writers, each streaming to a private file with the default two-stripe
+// layout — 1,024 concurrent flows through one shared backbone, the flow
+// population a 1,024-rank PLFS-style job pushes through the fluid solver.
+func solver1024Scenario() (*Platform, Scenario) {
+	plat := Cab()
+	cfg := PaperIOR(512)
+	cfg.Label = "bench-solver1024"
+	cfg.FilePerProc = true
+	cfg.Collective = false
+	cfg.SegmentCount = 2
+	cfg.Reps = 1
+	return plat, NewScenario("bench-solver1024", ScenarioJob{Workload: IORWorkload(cfg)})
+}
+
+// BenchmarkSolver1024Flows measures the max-min solver on a 1,024-flow
+// scenario, in both solver modes:
+//
+//   - incremental: same-instant recompute coalescing plus active-link
+//     tracking (the default);
+//   - reference: the pre-rework behaviour — a full progressive-filling
+//     pass over every link on every flow arrival and completion.
+//
+// Results are byte-identical across modes (the property tests enforce
+// it); only the solver work differs. linkvisits/op is the
+// machine-independent cost metric: the number of link records the solver
+// examined per simulated run.
+func BenchmarkSolver1024Flows(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		reference bool
+	}{
+		{"incremental", false},
+		{"reference", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			plat, sc := solver1024Scenario()
+			var stats flow.Stats
+			for i := 0; i < b.N; i++ {
+				var captured *lustre.System
+				res, err := workload.RunScenario(plat, sc, 0, func(sys *lustre.System) {
+					sys.Net().UseReferenceSolver(bc.reference)
+					captured = sys
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Makespan <= 0 {
+					b.Fatal("empty run")
+				}
+				stats = captured.Net().Stats()
+			}
+			b.ReportMetric(float64(stats.Solves), "solves/op")
+			b.ReportMetric(float64(stats.LinkVisits), "linkvisits/op")
+		})
 	}
 }
 

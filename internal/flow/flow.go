@@ -6,6 +6,32 @@
 // completion event is rescheduled. Contention between I/O jobs — the
 // subject of the reproduced paper — is exactly the sharing of OST, server
 // and network links between concurrent flows.
+//
+// # Solver cost
+//
+// The solver is the hot path of every experiment, so it avoids two
+// superlinear costs the naive formulation pays:
+//
+//   - Same-instant coalescing: flow arrivals and completions do not solve
+//     immediately. They update the admission state eagerly and schedule one
+//     zero-delay "solver dirty" event, so a 1,024-rank collective that opens
+//     all its stripe streams in one virtual instant triggers a single
+//     progressive-filling pass instead of 1,024. Rates are only ever *read*
+//     across a positive time interval, and the dirty event fires before
+//     virtual time advances, so trajectories are byte-identical to solving
+//     on every change.
+//
+//   - Active-link tracking: progressive filling touches only links that
+//     currently carry flows (Net.activeLinks, maintained incrementally as
+//     flows start and finish). Idle links — the common case: most NICs and
+//     OSTs are untouched by a given change — are never scanned. Links with
+//     no crossing flows cannot constrain any rate, so the allocation is
+//     identical to a full scan.
+//
+// UseReferenceSolver restores the naive behaviour (full link scans, one
+// solve per change); the property tests use it as the oracle and the
+// benchmarks as the before/after baseline. Stats reports solver work for
+// both modes.
 package flow
 
 import (
@@ -53,8 +79,9 @@ type Link struct {
 	name  string
 	model CapacityModel
 
-	active  int     // flows currently crossing the link
-	carried float64 // MB carried so far (telemetry)
+	active    int     // flows currently crossing the link
+	activeIdx int     // position in Net.activeLinks; -1 while idle
+	carried   float64 // MB carried so far (telemetry)
 
 	// scratch used during rate computation
 	residual  float64
@@ -101,7 +128,9 @@ type Flow struct {
 // Name returns the flow's name.
 func (f *Flow) Name() string { return f.name }
 
-// Rate returns the current allocated rate in MB/s.
+// Rate returns the current allocated rate in MB/s. Within a virtual
+// instant the value may be stale until the coalesced solve fires; call
+// Net.Recompute first when reading rates outside the engine loop.
 func (f *Flow) Rate() float64 { return f.rate }
 
 // Remaining returns the MB left to transfer.
@@ -122,21 +151,53 @@ func (f *Flow) FinishedAt() float64 { return f.finishAt }
 // Observer receives flow lifecycle callbacks; see Net.Observe. Callbacks
 // run synchronously inside the engine, so implementations must not block.
 type Observer interface {
-	// FlowStarted fires when a flow is admitted (after the initial rate
+	// FlowStarted fires when a flow is admitted (before its first rate
 	// assignment; zero-sized flows report with their completion).
 	FlowStarted(f *Flow)
 	// FlowFinished fires when a flow drains.
 	FlowFinished(f *Flow)
 }
 
+// Stats counts solver work; see Net.Stats. The visit counters are the
+// machine-independent cost metric the solver benchmarks report.
+type Stats struct {
+	// Solves is the number of progressive-filling passes performed.
+	Solves int64
+	// LinkVisits is the number of link records examined across all passes
+	// (initialisation, share search and saturation marking).
+	LinkVisits int64
+	// Coalesced is the number of recompute requests absorbed by an
+	// already-pending solve event.
+	Coalesced int64
+}
+
+// FlowSpec describes one flow for StartBatch.
+type FlowSpec struct {
+	// Name labels the flow.
+	Name string
+	// SizeMB is the transfer volume; zero-sized flows complete immediately.
+	SizeMB float64
+	// MaxRate optionally caps the flow (MB/s); <= 0 means unlimited.
+	MaxRate float64
+	// OnDone, if set, runs synchronously at completion before Done fires.
+	OnDone func()
+	// Path is the link path the flow traverses.
+	Path []*Link
+}
+
 // Net is a fluid network bound to a sim engine.
 type Net struct {
-	eng        *sim.Engine
-	links      []*Link
-	active     []*Flow
-	lastUpdate float64
-	nextEv     *sim.Event
-	observer   Observer
+	eng         *sim.Engine
+	links       []*Link
+	activeLinks []*Link // links with at least one crossing flow
+	active      []*Flow
+	lastUpdate  float64
+	nextEv      *sim.Event
+	dirtyEv     *sim.Event // pending coalesced solve at the current instant
+	observer    Observer
+	reference   bool    // solve eagerly with full link scans (oracle mode)
+	satScratch  []*Link // reused saturation list, avoids per-round scans
+	stats       Stats
 }
 
 // Observe installs an observer (nil to remove).
@@ -152,13 +213,30 @@ func (n *Net) Engine() *sim.Engine { return n.eng }
 
 // NewLink adds a link with the given capacity model.
 func (n *Net) NewLink(name string, model CapacityModel) *Link {
-	l := &Link{name: name, model: model}
+	l := &Link{name: name, model: model, activeIdx: -1}
 	n.links = append(n.links, l)
 	return l
 }
 
 // ActiveFlows reports the number of unfinished flows.
 func (n *Net) ActiveFlows() int { return len(n.active) }
+
+// ActiveLinks reports the number of links currently carrying flows.
+func (n *Net) ActiveLinks() int { return len(n.activeLinks) }
+
+// Stats returns the accumulated solver work counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the solver work counters.
+func (n *Net) ResetStats() { n.stats = Stats{} }
+
+// UseReferenceSolver switches the network to the naive solver: one full
+// progressive-filling pass over every link on every flow arrival,
+// completion and capacity change, with no same-instant coalescing. It
+// exists as the correctness oracle for the incremental solver and as the
+// baseline the solver benchmarks measure against; simulations produce
+// byte-identical results in either mode.
+func (n *Net) UseReferenceSolver(on bool) { n.reference = on }
 
 // Start launches a transfer of sizeMB over path with an optional per-flow
 // rate cap (maxRate <= 0 means unlimited). Zero-sized flows complete at the
@@ -171,20 +249,54 @@ func (n *Net) Start(name string, sizeMB, maxRate float64, path ...*Link) *Flow {
 // the flow drains (immediately for zero-sized flows), before Done fires and
 // before rates are recomputed.
 func (n *Net) StartFunc(name string, sizeMB, maxRate float64, onDone func(), path ...*Link) *Flow {
-	if sizeMB < 0 || math.IsNaN(sizeMB) {
-		panic(fmt.Sprintf("flow: bad size %v for %q", sizeMB, name))
+	if sizeMB > epsilonMB {
+		// Zero-sized flows never advance accounting: they existed for no
+		// interval, and charging the elapsed time here would split the
+		// integration interval other flows see.
+		n.advance()
+	}
+	return n.admit(FlowSpec{Name: name, SizeMB: sizeMB, MaxRate: maxRate, OnDone: onDone, Path: path})
+}
+
+// StartBatch admits a set of flows in one operation — the entry point for
+// collectives that open all their stripe streams at once (two-phase
+// writes, PLFS log storms, file-per-process fans). The batch charges
+// elapsed time once and requests a single coalesced solve, so its cost is
+// O(flows) bookkeeping plus one progressive-filling pass regardless of
+// batch width. Flows are admitted (and observers notified) in spec order,
+// exactly as the equivalent StartFunc sequence would.
+func (n *Net) StartBatch(specs []FlowSpec) []*Flow {
+	for i := range specs {
+		if specs[i].SizeMB > epsilonMB {
+			n.advance() // once: later calls in this instant see dt == 0
+			break
+		}
+	}
+	out := make([]*Flow, len(specs))
+	for i := range specs {
+		out[i] = n.admit(specs[i])
+	}
+	return out
+}
+
+// admit adds one flow at the current instant: accounting is applied
+// eagerly, the rate solve is deferred to the coalesced dirty event.
+// Callers must advance() first.
+func (n *Net) admit(sp FlowSpec) *Flow {
+	if sp.SizeMB < 0 || math.IsNaN(sp.SizeMB) {
+		panic(fmt.Sprintf("flow: bad size %v for %q", sp.SizeMB, sp.Name))
 	}
 	f := &Flow{
-		name:      name,
-		remaining: sizeMB,
-		size:      sizeMB,
-		path:      path,
-		maxRate:   maxRate,
+		name:      sp.Name,
+		remaining: sp.SizeMB,
+		size:      sp.SizeMB,
+		path:      sp.Path,
+		maxRate:   sp.MaxRate,
 		started:   n.eng.Now(),
-		Done:      n.eng.NewSignal("flow:" + name),
-		onDone:    onDone,
+		Done:      n.eng.NewSignal("flow:" + sp.Name),
+		onDone:    sp.OnDone,
 	}
-	if sizeMB <= epsilonMB {
+	if sp.SizeMB <= epsilonMB {
 		f.finished = true
 		f.finishAt = n.eng.Now()
 		if f.onDone != nil {
@@ -197,19 +309,61 @@ func (n *Net) StartFunc(name string, sizeMB, maxRate float64, onDone func(), pat
 		f.Done.Fire()
 		return f
 	}
-	if len(path) == 0 && maxRate <= 0 {
-		panic(fmt.Sprintf("flow: %q has no path and no rate cap; would complete instantaneously", name))
+	if len(sp.Path) == 0 && sp.MaxRate <= 0 {
+		panic(fmt.Sprintf("flow: %q has no path and no rate cap; would complete instantaneously", sp.Name))
 	}
-	n.advance()
 	n.active = append(n.active, f)
 	for _, l := range f.path {
+		if l.active == 0 {
+			l.activeIdx = len(n.activeLinks)
+			n.activeLinks = append(n.activeLinks, l)
+		}
 		l.active++
 	}
-	n.Recompute()
+	n.markDirty()
 	if n.observer != nil {
 		n.observer.FlowStarted(f)
 	}
 	return f
+}
+
+// retire removes a drained flow from its links, maintaining the
+// active-link set.
+func (n *Net) retire(f *Flow) {
+	for _, l := range f.path {
+		l.active--
+		if l.active == 0 {
+			last := len(n.activeLinks) - 1
+			moved := n.activeLinks[last]
+			n.activeLinks[l.activeIdx] = moved
+			moved.activeIdx = l.activeIdx
+			n.activeLinks[last] = nil
+			n.activeLinks = n.activeLinks[:last]
+			l.activeIdx = -1
+		}
+	}
+}
+
+// markDirty requests a rate solve for the current virtual instant. In
+// reference mode the solve happens immediately; otherwise one zero-delay
+// event per instant performs it after all same-instant changes have been
+// applied, which is what collapses a 1,024-stream open storm into a
+// single progressive-filling pass.
+func (n *Net) markDirty() {
+	if n.reference {
+		n.Recompute()
+		return
+	}
+	if n.dirtyEv != nil {
+		n.stats.Coalesced++
+		return
+	}
+	n.dirtyEv = n.eng.Schedule(0, func() {
+		n.dirtyEv = nil
+		n.advance() // same instant: dt == 0
+		n.assignRates()
+		n.scheduleNext()
+	})
 }
 
 // advance applies the current rates over the elapsed interval, decrementing
@@ -234,24 +388,38 @@ func (n *Net) advance() {
 }
 
 // Recompute advances transfer accounting at the old rates, re-runs max-min
-// progressive filling and reschedules the next completion event. Call it
-// after changing a link's capacity model; flow arrival and completion
-// recompute automatically.
+// progressive filling and reschedules the next completion event, absorbing
+// any pending coalesced solve. Call it after changing a link's capacity
+// model; flow arrival and completion recompute automatically.
 func (n *Net) Recompute() {
+	if n.dirtyEv != nil {
+		n.eng.Cancel(n.dirtyEv)
+		n.dirtyEv = nil
+	}
 	n.advance()
 	n.assignRates()
 	n.scheduleNext()
 }
 
 // assignRates performs progressive filling:
-//  1. every link's residual capacity is its model capacity for the current
-//     stream count;
+//  1. every carrying link's residual capacity is its model capacity for the
+//     current stream count;
 //  2. repeatedly find the tightest constraint — either a link's fair share
 //     (residual / unfixed flows) or a flow's own rate cap — and fix the
 //     affected flows at that rate;
 //  3. continue until every flow's rate is fixed.
+//
+// Only the active-link set is scanned (idle links cannot constrain any
+// flow); reference mode scans every link instead, reproducing the naive
+// solver's cost.
 func (n *Net) assignRates() {
-	for _, l := range n.links {
+	links := n.activeLinks
+	if n.reference {
+		links = n.links
+	}
+	n.stats.Solves++
+	n.stats.LinkVisits += int64(len(links))
+	for _, l := range links {
 		l.residual = l.model.Capacity(l.active)
 		l.unfixed = 0
 		l.saturated = false
@@ -267,9 +435,11 @@ func (n *Net) assignRates() {
 			l.unfixed++
 		}
 	}
+	sat := n.satScratch[:0]
 	for unfixedCount > 0 {
 		minShare := math.Inf(1)
-		for _, l := range n.links {
+		n.stats.LinkVisits += int64(len(links))
+		for _, l := range links {
 			if l.unfixed == 0 {
 				continue
 			}
@@ -308,10 +478,12 @@ func (n *Net) assignRates() {
 				n.fix(f, r)
 				unfixedCount--
 			}
+			n.satScratch = sat[:0]
 			return
 		}
 		// Saturate bottleneck links and fix their flows at the fair share.
-		for _, l := range n.links {
+		n.stats.LinkVisits += int64(len(links))
+		for _, l := range links {
 			if l.unfixed == 0 {
 				continue
 			}
@@ -321,6 +493,7 @@ func (n *Net) assignRates() {
 			}
 			if res/float64(l.unfixed) <= minShare*(1+1e-12)+1e-15 {
 				l.saturated = true
+				sat = append(sat, l)
 			}
 		}
 		progressed := false
@@ -341,13 +514,15 @@ func (n *Net) assignRates() {
 				progressed = true
 			}
 		}
-		for _, l := range n.links {
+		for _, l := range sat {
 			l.saturated = false
 		}
+		sat = sat[:0]
 		if !progressed {
 			panic("flow: progressive filling made no progress")
 		}
 	}
+	n.satScratch = sat[:0]
 }
 
 // fix pins a flow's rate and charges it against its path's residuals.
@@ -383,8 +558,9 @@ func (n *Net) scheduleNext() {
 }
 
 // onCompletion retires every flow that has drained (batching simultaneous
-// completions), fires their Done signals, and recomputes rates for the
-// survivors.
+// completions), fires their Done signals, and requests a recompute for the
+// survivors — coalesced with any same-instant arrivals the completions
+// trigger.
 func (n *Net) onCompletion() {
 	n.nextEv = nil
 	n.advance()
@@ -395,9 +571,7 @@ func (n *Net) onCompletion() {
 			f.remaining = 0
 			f.finished = true
 			f.finishAt = n.eng.Now()
-			for _, l := range f.path {
-				l.active--
-			}
+			n.retire(f)
 			done = append(done, f)
 		} else {
 			still = append(still, f)
@@ -417,14 +591,19 @@ func (n *Net) onCompletion() {
 	for _, f := range done {
 		f.Done.Fire()
 	}
-	n.Recompute()
+	n.markDirty()
 }
 
 // CheckInvariants verifies the current rate allocation: every active flow
-// has a non-negative fixed rate no greater than its cap, and no link
-// carries more than its capacity (within tolerance). It returns nil when
-// consistent; tests call it after topology changes.
+// has a non-negative fixed rate no greater than its cap, no link carries
+// more than its capacity (within tolerance), and the active-link set
+// matches the links the active flows actually cross. Any pending coalesced
+// solve is flushed first so the settled allocation is checked. It returns
+// nil when consistent; tests call it after topology changes.
 func (n *Net) CheckInvariants() error {
+	if n.dirtyEv != nil {
+		n.Recompute()
+	}
 	loads := make(map[*Link]float64)
 	for _, f := range n.active {
 		if f.finished {
@@ -445,8 +624,23 @@ func (n *Net) CheckInvariants() error {
 		if load := loads[l]; load > cap*(1+1e-6)+1e-9 {
 			return fmt.Errorf("flow: link %q oversubscribed: %v > %v", l.name, load, cap)
 		}
+		inSet := l.activeIdx >= 0 && l.activeIdx < len(n.activeLinks) && n.activeLinks[l.activeIdx] == l
+		if (l.active > 0) != inSet {
+			return fmt.Errorf("flow: link %q active=%d but activeIdx=%d (set membership %v)",
+				l.name, l.active, l.activeIdx, inSet)
+		}
 	}
 	return nil
+}
+
+// Dones collects the completion signals of a flow batch, ready for
+// Proc.WaitAll — the usual coda to StartBatch.
+func Dones(flows []*Flow) []*sim.Signal {
+	out := make([]*sim.Signal, len(flows))
+	for i, f := range flows {
+		out[i] = f.Done
+	}
+	return out
 }
 
 // TransferAndWait starts a flow and blocks the calling process until it

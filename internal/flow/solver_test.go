@@ -1,0 +1,274 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfsim/internal/sim"
+)
+
+// solverOp is one step of a randomized schedule, replayable on any net.
+type solverOp struct {
+	at      float64
+	start   bool  // true: start a flow; false: change a link capacity
+	path    []int // link indices (start)
+	size    float64
+	maxRate float64
+	link    int     // target link (capacity change)
+	mbs     float64 // new capacity (capacity change)
+	name    string
+}
+
+// randomSchedule draws a churny schedule of flow starts and capacity
+// changes over nLinks links. Several ops share instants on purpose, to
+// exercise same-instant coalescing.
+func randomSchedule(rng *rand.Rand, nLinks int) []solverOp {
+	var ops []solverOp
+	at := 0.0
+	nOps := 8 + rng.Intn(50)
+	for i := 0; i < nOps; i++ {
+		if rng.Intn(3) > 0 { // bursts: 1/3 of ops land on a fresh instant
+			at += rng.Float64() * 3
+		}
+		if rng.Intn(4) == 3 && i > 0 {
+			ops = append(ops, solverOp{
+				at:   at,
+				link: rng.Intn(nLinks),
+				mbs:  5 + rng.Float64()*400,
+			})
+			continue
+		}
+		pathLen := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		var path []int
+		for len(path) < pathLen {
+			k := rng.Intn(nLinks)
+			if !seen[k] {
+				seen[k] = true
+				path = append(path, k)
+			}
+		}
+		cap := 0.0
+		if rng.Intn(3) == 0 {
+			cap = 1 + rng.Float64()*100
+		}
+		ops = append(ops, solverOp{
+			at:      at,
+			start:   true,
+			path:    path,
+			size:    1 + rng.Float64()*2000,
+			maxRate: cap,
+			name:    fmt.Sprintf("f%d", i),
+		})
+	}
+	return ops
+}
+
+// replay builds a star of nLinks Const links with the given capacities,
+// schedules ops, runs the engine, and returns the flows, links and net.
+// With invariants set, CheckInvariants runs inside every op event.
+func replay(t *testing.T, ops []solverOp, caps []float64, reference, invariants bool) ([]*Flow, []*Link, *Net) {
+	t.Helper()
+	e := sim.NewEngine()
+	n := NewNet(e)
+	n.UseReferenceSolver(reference)
+	links := make([]*Link, len(caps))
+	for i, c := range caps {
+		links[i] = n.NewLink(fmt.Sprintf("l%d", i), Const(c))
+	}
+	flows := make([]*Flow, 0, len(ops))
+	for _, op := range ops {
+		op := op
+		e.Schedule(op.at, func() {
+			if op.start {
+				path := make([]*Link, len(op.path))
+				for i, k := range op.path {
+					path[i] = links[k]
+				}
+				flows = append(flows, n.Start(op.name, op.size, op.maxRate, path...))
+			} else {
+				links[op.link].SetModel(Const(op.mbs))
+				n.Recompute()
+			}
+			if invariants {
+				if err := n.CheckInvariants(); err != nil {
+					t.Errorf("invariants after op at t=%v: %v", op.at, err)
+				}
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return flows, links, n
+}
+
+// TestIncrementalMatchesReferenceProperty drives randomized sequences of
+// flow starts, completions and capacity changes through the incremental
+// coalescing solver and the from-scratch reference solver on identical
+// topologies. Completion times and carried volumes must match bit for
+// bit, and the incremental net must satisfy CheckInvariants inside every
+// event and after the run drains.
+func TestIncrementalMatchesReferenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nLinks := 4 + rng.Intn(12)
+			caps := make([]float64, nLinks)
+			for i := range caps {
+				caps[i] = 10 + rng.Float64()*500
+			}
+			ops := randomSchedule(rng, nLinks)
+			incFlows, incLinks, inc := replay(t, ops, caps, false, true)
+			refFlows, refLinks, _ := replay(t, ops, caps, true, false)
+			if err := inc.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if inc.ActiveFlows() != 0 || inc.ActiveLinks() != 0 {
+				t.Fatalf("incremental net not drained: %d flows, %d active links",
+					inc.ActiveFlows(), inc.ActiveLinks())
+			}
+			if len(incFlows) != len(refFlows) {
+				t.Fatalf("flow counts diverged: %d vs %d", len(incFlows), len(refFlows))
+			}
+			for i := range incFlows {
+				fi, fr := incFlows[i], refFlows[i]
+				if fi.Finished() != fr.Finished() {
+					t.Fatalf("flow %s: finished %v vs %v", fi.Name(), fi.Finished(), fr.Finished())
+				}
+				if math.Float64bits(fi.FinishedAt()) != math.Float64bits(fr.FinishedAt()) {
+					t.Errorf("flow %s: finish %v vs reference %v (not bit-identical)",
+						fi.Name(), fi.FinishedAt(), fr.FinishedAt())
+				}
+			}
+			for i := range incLinks {
+				if math.Float64bits(incLinks[i].Carried()) != math.Float64bits(refLinks[i].Carried()) {
+					t.Errorf("link %s: carried %v vs reference %v",
+						incLinks[i].Name(), incLinks[i].Carried(), refLinks[i].Carried())
+				}
+			}
+		})
+	}
+}
+
+// TestStartBatchMatchesSequentialStarts verifies a batch admission is
+// indistinguishable from the equivalent StartFunc sequence, including
+// zero-sized and path-less capped members.
+func TestStartBatchMatchesSequentialStarts(t *testing.T) {
+	build := func(batch bool) ([]*Flow, *Net, *sim.Engine) {
+		e := sim.NewEngine()
+		n := NewNet(e)
+		shared := n.NewLink("shared", Const(300))
+		var specs []FlowSpec
+		for i := 0; i < 16; i++ {
+			nic := n.NewLink(fmt.Sprintf("nic%d", i), Const(100))
+			specs = append(specs, FlowSpec{
+				Name:   fmt.Sprintf("f%d", i),
+				SizeMB: float64(100 + 37*i),
+				Path:   []*Link{nic, shared},
+			})
+		}
+		specs = append(specs, FlowSpec{Name: "zero", SizeMB: 0, Path: []*Link{shared}})
+		specs = append(specs, FlowSpec{Name: "capped", SizeMB: 50, MaxRate: 5})
+		var flows []*Flow
+		if batch {
+			flows = n.StartBatch(specs)
+		} else {
+			for _, sp := range specs {
+				flows = append(flows, n.StartFunc(sp.Name, sp.SizeMB, sp.MaxRate, sp.OnDone, sp.Path...))
+			}
+		}
+		return flows, n, e
+	}
+	seqFlows, _, seqEng := build(false)
+	batchFlows, bn, batchEng := build(true)
+	if err := seqEng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := batchEng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !batchFlows[16].Finished() {
+		t.Error("zero-sized batch member did not complete immediately")
+	}
+	for i := range seqFlows {
+		a, b := seqFlows[i], batchFlows[i]
+		if math.Float64bits(a.FinishedAt()) != math.Float64bits(b.FinishedAt()) {
+			t.Errorf("flow %s: sequential %v vs batch %v", a.Name(), a.FinishedAt(), b.FinishedAt())
+		}
+	}
+	if err := bn.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalescingReducesSolves: a 256-wide same-instant admission must cost
+// one solve, not 256, and far fewer link visits than the reference solver
+// pays for the same schedule — even more so with idle links around, which
+// the incremental solver never scans.
+func TestCoalescingReducesSolves(t *testing.T) {
+	run := func(reference bool) Stats {
+		e := sim.NewEngine()
+		n := NewNet(e)
+		n.UseReferenceSolver(reference)
+		shared := n.NewLink("bb", Const(1000))
+		var specs []FlowSpec
+		for i := 0; i < 256; i++ {
+			nic := n.NewLink(fmt.Sprintf("nic%d", i), Const(100))
+			specs = append(specs, FlowSpec{
+				Name:   fmt.Sprintf("f%d", i),
+				SizeMB: 100,
+				Path:   []*Link{nic, shared},
+			})
+		}
+		// Plenty of idle links the incremental solver must never scan.
+		for i := 0; i < 1000; i++ {
+			n.NewLink(fmt.Sprintf("idle%d", i), Const(100))
+		}
+		n.ResetStats()
+		n.StartBatch(specs)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Stats()
+	}
+	inc := run(false)
+	ref := run(true)
+	if inc.Solves != 2 { // one coalesced admission solve + one completion solve
+		t.Errorf("incremental solves = %d, want 2", inc.Solves)
+	}
+	if ref.Solves < 256 {
+		t.Errorf("reference solves = %d, want >= 256", ref.Solves)
+	}
+	if inc.LinkVisits*3 > ref.LinkVisits {
+		t.Errorf("link visits not >=3x better: incremental %d vs reference %d",
+			inc.LinkVisits, ref.LinkVisits)
+	}
+	if inc.Coalesced == 0 {
+		t.Error("no coalesced recomputes recorded")
+	}
+}
+
+// TestRecomputeFlushesPendingSolve: reading rates right after a start
+// works when Recompute is called explicitly, even though the coalesced
+// solve event has not fired yet.
+func TestRecomputeFlushesPendingSolve(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	l := n.NewLink("pipe", Const(100))
+	a := n.Start("a", 1000, 0, l)
+	b := n.Start("b", 1000, 0, l)
+	n.Recompute()
+	if a.Rate() != 50 || b.Rate() != 50 {
+		t.Errorf("rates after flush = %v, %v; want 50, 50", a.Rate(), b.Rate())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Finished() || !b.Finished() {
+		t.Error("flows did not finish")
+	}
+}

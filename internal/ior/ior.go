@@ -11,6 +11,7 @@ import (
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/core"
+	"pfsim/internal/flow"
 	"pfsim/internal/lustre"
 	"pfsim/internal/mpi"
 	"pfsim/internal/mpiio"
@@ -394,23 +395,25 @@ func (j *job) writeFilePerProc(r *mpi.Rank, f *mpiio.File) error {
 	}
 	p := r.Proc()
 	shares := layout.BytesPerOST(j.cfg.PerRankMB())
-	var dones []*sim.Signal
+	var reqs []lustre.WriteReq
 	for i, mb := range shares {
 		if mb <= 0 {
 			continue
 		}
 		ost := j.sys.OST(layout.OSTs[i])
-		fl := j.sys.StartWrite(
-			fmt.Sprintf("fpp:%s:r%d:o%d", j.cfg.Label, r.ID(), ost.ID()),
-			mb, ost, lustre.WriteOpts{
+		reqs = append(reqs, lustre.WriteReq{
+			Name:   fmt.Sprintf("fpp:%s:r%d:o%d", j.cfg.Label, r.ID(), ost.ID()),
+			SizeMB: mb,
+			OST:    ost,
+			Opts: lustre.WriteOpts{
 				Node:   r.Node(),
 				Class:  cluster.ClassSequential,
 				FileID: fileIDOf(f, r),
 				RPCMB:  j.cfg.TransferSizeMB,
-			})
-		dones = append(dones, fl.Done)
+			},
+		})
 	}
-	p.WaitAll(dones...)
+	p.WaitAll(flow.Dones(j.sys.StartWrites(reqs))...)
 	return nil
 }
 

@@ -99,9 +99,15 @@ func (s *System) OST(i int) *OST { return s.osts[i] }
 // NumOSTs returns the OST population (Dtotal).
 func (s *System) NumOSTs() int { return len(s.osts) }
 
-// NIC returns the injection link of a compute node.
+// NIC returns the injection link of a compute node. Out-of-range nodes are
+// a caller bug (placement validation happens in ior.Config.Validate); an
+// earlier revision silently wrapped them with a modulo, which aliased two
+// distinct nodes onto one NIC and hid the error.
 func (s *System) NIC(node int) *flow.Link {
-	return s.nics[node%len(s.nics)]
+	if node < 0 || node >= len(s.nics) {
+		panic(fmt.Sprintf("lustre: node %d out of range [0,%d)", node, len(s.nics)))
+	}
+	return s.nics[node]
 }
 
 // Backbone returns the shared I/O network link.
@@ -286,6 +292,38 @@ func (s *System) StartWrite(name string, sizeMB float64, ost *OST, opts WriteOpt
 	st := ost.AddStream(opts.Class, opts.FileID, opts.RPCMB)
 	path := append(append([]*flow.Link{}, opts.Via...), s.PathFromNode(opts.Node, ost)...)
 	return s.net.StartFunc(name, sizeMB, opts.MaxRate, st.Remove, path...)
+}
+
+// WriteReq describes one stream for StartWrites.
+type WriteReq struct {
+	// Name labels the flow.
+	Name string
+	// SizeMB is the transfer volume.
+	SizeMB float64
+	// OST is the target the stream writes to.
+	OST *OST
+	// Opts carries the stream attributes (node, class, file, RPC size).
+	Opts WriteOpts
+}
+
+// StartWrites is the batched StartWrite: it registers every stream, then
+// admits all flows through flow.Net.StartBatch so a collective that opens
+// its stripe streams at once costs one coalesced rate solve instead of one
+// per stream. Streams deregister automatically as their flows complete.
+func (s *System) StartWrites(reqs []WriteReq) []*flow.Flow {
+	specs := make([]flow.FlowSpec, len(reqs))
+	for i := range reqs {
+		rq := &reqs[i]
+		st := rq.OST.AddStream(rq.Opts.Class, rq.Opts.FileID, rq.Opts.RPCMB)
+		specs[i] = flow.FlowSpec{
+			Name:    rq.Name,
+			SizeMB:  rq.SizeMB,
+			MaxRate: rq.Opts.MaxRate,
+			OnDone:  st.Remove,
+			Path:    append(append([]*flow.Link{}, rq.Opts.Via...), s.PathFromNode(rq.Opts.Node, rq.OST)...),
+		}
+	}
+	return s.net.StartBatch(specs)
 }
 
 // StreamSnapshot reports, per OST, the number of distinct active jobs —

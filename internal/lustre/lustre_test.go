@@ -499,3 +499,78 @@ func TestMDSAllocationUniform(t *testing.T) {
 		}
 	}
 }
+
+func TestNICRejectsOutOfRangeNodes(t *testing.T) {
+	_, sys := newSys(t, testPlat())
+	for _, node := range []int{-1, sys.Platform().Nodes, sys.Platform().Nodes + 7} {
+		node := node
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NIC(%d) did not panic; an earlier revision aliased it via modulo", node)
+				}
+			}()
+			sys.NIC(node)
+		}()
+	}
+	// In-range nodes still resolve.
+	if sys.NIC(0) == nil || sys.NIC(sys.Platform().Nodes-1) == nil {
+		t.Error("in-range NIC lookup failed")
+	}
+}
+
+func TestStartWritesBatchMatchesSequential(t *testing.T) {
+	// The batched stream API must reproduce the sequential StartWrite
+	// path exactly: same completion times, same stream bookkeeping.
+	run := func(batch bool) []float64 {
+		eng, sys := newSys(t, testPlat())
+		var reqs []WriteReq
+		for i := 0; i < 8; i++ {
+			reqs = append(reqs, WriteReq{
+				Name:   fmt.Sprintf("w%d", i),
+				SizeMB: float64(50 + 13*i),
+				OST:    sys.OST(i % 4),
+				Opts: WriteOpts{
+					Node:   i,
+					Class:  cluster.ClassSequential,
+					FileID: i + 1,
+					RPCMB:  1,
+				},
+			})
+		}
+		var times []float64
+		if batch {
+			flows := sys.StartWrites(reqs)
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range flows {
+				times = append(times, f.FinishedAt())
+			}
+		} else {
+			var flows []interface{ FinishedAt() float64 }
+			for _, rq := range reqs {
+				flows = append(flows, sys.StartWrite(rq.Name, rq.SizeMB, rq.OST, rq.Opts))
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range flows {
+				times = append(times, f.FinishedAt())
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if sys.OST(i).ActiveStreams() != 0 {
+				t.Errorf("OST %d still has %d streams after drain", i, sys.OST(i).ActiveStreams())
+			}
+		}
+		return times
+	}
+	seq := run(false)
+	bat := run(true)
+	for i := range seq {
+		if math.Float64bits(seq[i]) != math.Float64bits(bat[i]) {
+			t.Errorf("flow %d: sequential %v vs batch %v", i, seq[i], bat[i])
+		}
+	}
+}

@@ -310,34 +310,39 @@ func (f *File) collectiveWrite(p *sim.Proc, totalMB float64) {
 	if cb := f.cbBufferMB(); rpc > cb {
 		rpc = cb
 	}
-	var dones []*sim.Signal
-	start := func(agg int, ost *lustre.OST, mb float64) {
-		fl := f.sys.StartWrite(
-			fmt.Sprintf("cw:%s:a%d:o%d", f.name, agg, ost.ID()),
-			mb, ost, lustre.WriteOpts{
+	// All per-aggregator stripe streams open at the same virtual instant,
+	// so they are admitted as one batch: a single coalesced rate solve
+	// instead of one per stream.
+	var reqs []lustre.WriteReq
+	add := func(agg int, ost *lustre.OST, mb float64) {
+		reqs = append(reqs, lustre.WriteReq{
+			Name:   fmt.Sprintf("cw:%s:a%d:o%d", f.name, agg, ost.ID()),
+			SizeMB: mb,
+			OST:    ost,
+			Opts: lustre.WriteOpts{
 				Node:   f.aggNodes[agg],
 				Class:  cluster.ClassCollective,
 				FileID: f.lf.ID,
 				RPCMB:  rpc,
 				Via:    []*flow.Link{f.aggLinks[agg]},
-			})
-		dones = append(dones, fl.Done)
+			},
+		})
 	}
 	domain := totalMB / float64(A)
 	if A >= R {
 		for j := 0; j < A; j++ {
-			start(j, f.sys.OST(layout.OSTs[j%R]), domain)
+			add(j, f.sys.OST(layout.OSTs[j%R]), domain)
 		}
 	} else {
 		for j := 0; j < A; j++ {
 			owned := (R - j + A - 1) / A // OSTs {j, j+A, ...}
 			share := domain / float64(owned)
 			for k := j; k < R; k += A {
-				start(j, f.sys.OST(layout.OSTs[k]), share)
+				add(j, f.sys.OST(layout.OSTs[k]), share)
 			}
 		}
 	}
-	p.WaitAll(dones...)
+	p.WaitAll(flow.Dones(f.sys.StartWrites(reqs))...)
 }
 
 func (f *File) cbBufferMB() float64 {
@@ -425,22 +430,24 @@ func (f *File) WriteIndependent(r *mpi.Rank, sizeMB, transferMB float64) error {
 	}
 	// Distinct pseudo-file ID per rank: independent writers conflict.
 	lockDomain := f.lf.ID*1_000_000 + r.ID() + 1
-	var dones []*sim.Signal
+	var reqs []lustre.WriteReq
 	for k, mb := range shares {
 		if mb <= 0 {
 			continue
 		}
-		fl := f.sys.StartWrite(
-			fmt.Sprintf("iw:%s:r%d:o%d", f.name, r.ID(), layout.OSTs[k]),
-			mb, f.sys.OST(layout.OSTs[k]), lustre.WriteOpts{
+		reqs = append(reqs, lustre.WriteReq{
+			Name:   fmt.Sprintf("iw:%s:r%d:o%d", f.name, r.ID(), layout.OSTs[k]),
+			SizeMB: mb,
+			OST:    f.sys.OST(layout.OSTs[k]),
+			Opts: lustre.WriteOpts{
 				Node:   r.Node(),
 				Class:  cluster.ClassCollective,
 				FileID: lockDomain,
 				RPCMB:  rpc,
-			})
-		dones = append(dones, fl.Done)
+			},
+		})
 	}
-	p.WaitAll(dones...)
+	p.WaitAll(flow.Dones(f.sys.StartWrites(reqs))...)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/core"
+	"pfsim/internal/flow"
 	"pfsim/internal/lustre"
 	"pfsim/internal/sim"
 )
@@ -134,24 +135,26 @@ func (rl *RankLog) Write(p *sim.Proc, node int, sizeMB, transferMB float64) erro
 	plat := rl.c.sys.Platform()
 	shares := rl.data.Layout.BytesPerOST(sizeMB)
 	perStream := plat.PLFSRankMBs / float64(len(shares))
-	var dones []*sim.Signal
+	var reqs []lustre.WriteReq
 	for i, mb := range shares {
 		if mb <= 0 {
 			continue
 		}
 		ost := rl.c.sys.OST(rl.data.Layout.OSTs[i])
-		f := rl.c.sys.StartWrite(
-			fmt.Sprintf("plfs:%s:r%d:o%d", rl.c.name, rl.rank, ost.ID()),
-			mb, ost, lustre.WriteOpts{
+		reqs = append(reqs, lustre.WriteReq{
+			Name:   fmt.Sprintf("plfs:%s:r%d:o%d", rl.c.name, rl.rank, ost.ID()),
+			SizeMB: mb,
+			OST:    ost,
+			Opts: lustre.WriteOpts{
 				Node:    node,
 				Class:   cluster.ClassLogAppend,
 				FileID:  rl.data.ID,
 				RPCMB:   transferMB,
 				MaxRate: perStream,
-			})
-		dones = append(dones, f.Done)
+			},
+		})
 	}
-	p.WaitAll(dones...)
+	p.WaitAll(flow.Dones(rl.c.sys.StartWrites(reqs))...)
 	rl.writtenMB += sizeMB
 	rl.records += int(sizeMB / transferMB)
 	return nil
@@ -209,24 +212,24 @@ func (c *Container) BatchWrite(p *sim.Proc, perRankMB, transferMB float64) error
 		rl.writtenMB += perRankMB
 		rl.records += int(perRankMB / transferMB)
 	}
-	var dones []*sim.Signal
+	specs := make([]flow.FlowSpec, 0, len(ostOrder))
 	for _, id := range ostOrder {
 		sh := shares[id]
 		ost := c.sys.OST(id)
 		streams := sh.streams
-		fl := c.sys.Net().StartFunc(
-			fmt.Sprintf("plfs-batch:%s:o%d", c.name, id),
-			sh.totalMB, sh.maxRate,
-			func() {
+		specs = append(specs, flow.FlowSpec{
+			Name:    fmt.Sprintf("plfs-batch:%s:o%d", c.name, id),
+			SizeMB:  sh.totalMB,
+			MaxRate: sh.maxRate,
+			OnDone: func() {
 				for _, st := range streams {
 					st.Remove()
 				}
 			},
-			c.sys.Backbone(), c.sys.OSSLink(ost.OSS()), ost.Link(),
-		)
-		dones = append(dones, fl.Done)
+			Path: []*flow.Link{c.sys.Backbone(), c.sys.OSSLink(ost.OSS()), ost.Link()},
+		})
 	}
-	p.WaitAll(dones...)
+	p.WaitAll(flow.Dones(c.sys.Net().StartBatch(specs))...)
 	return nil
 }
 
@@ -241,23 +244,25 @@ func (rl *RankLog) Read(p *sim.Proc, node int, sizeMB float64) error {
 	// Index record lookup: ~1 µs per record, linear merge.
 	p.Sleep(float64(rl.records) * 1e-6)
 	shares := rl.data.Layout.BytesPerOST(sizeMB)
-	var dones []*sim.Signal
+	var reqs []lustre.WriteReq
 	for i, mb := range shares {
 		if mb <= 0 {
 			continue
 		}
 		ost := rl.c.sys.OST(rl.data.Layout.OSTs[i])
-		f := rl.c.sys.StartWrite(
-			fmt.Sprintf("plfs-read:%s:r%d:o%d", rl.c.name, rl.rank, ost.ID()),
-			mb, ost, lustre.WriteOpts{
+		reqs = append(reqs, lustre.WriteReq{
+			Name:   fmt.Sprintf("plfs-read:%s:r%d:o%d", rl.c.name, rl.rank, ost.ID()),
+			SizeMB: mb,
+			OST:    ost,
+			Opts: lustre.WriteOpts{
 				Node:   node,
 				Class:  cluster.ClassSequential,
 				FileID: rl.data.ID,
 				RPCMB:  rl.data.Layout.SizeMB,
-			})
-		dones = append(dones, f.Done)
+			},
+		})
 	}
-	p.WaitAll(dones...)
+	p.WaitAll(flow.Dones(rl.c.sys.StartWrites(reqs))...)
 	return nil
 }
 

@@ -115,8 +115,14 @@ func (e *Engine) Cancel(ev *Event) {
 	heap.Remove(&e.events, ev.index)
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes the next (or current) Run return before firing another event.
+// A Stop issued before Run starts is honoured: Run returns immediately
+// without executing anything. Each Run/RunUntil return consumes at most one
+// stop request, so the engine can be resumed afterwards.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether a stop request is pending.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // Run executes events until the queue empties or Stop is called. It returns
 // an error if processes remain blocked with no pending events (a simulation
@@ -124,9 +130,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() error { return e.RunUntil(math.Inf(1)) }
 
 // RunUntil executes events with fire time <= tmax. Virtual time never
-// exceeds tmax.
+// exceeds tmax. An earlier revision reset the stop flag on entry, which
+// silently discarded a Stop issued before Run — launch-error paths that
+// stop the engine synchronously (before Run begins) would run the whole
+// simulation anyway and delay the error until completion.
 func (e *Engine) RunUntil(tmax float64) error {
-	e.stopped = false
 	for !e.stopped && len(e.events) > 0 {
 		if e.events[0].at > tmax {
 			e.now = tmax
@@ -141,7 +149,11 @@ func (e *Engine) RunUntil(tmax float64) error {
 		}
 		ev.fn()
 	}
-	if !e.stopped && len(e.blocked) > 0 {
+	if e.stopped {
+		e.stopped = false // consume the stop so the engine can be resumed
+		return nil
+	}
+	if len(e.blocked) > 0 {
 		names := make([]string, 0, len(e.blocked))
 		for _, n := range e.blocked {
 			names = append(names, n)

@@ -390,3 +390,54 @@ func TestProcDone(t *testing.T) {
 		t.Error("Engine() mismatch")
 	}
 }
+
+func TestStopBeforeRunIsHonoured(t *testing.T) {
+	// A Stop issued before Run starts — e.g. by a failed synchronous job
+	// launch — must prevent the run entirely. An earlier revision reset
+	// the flag on entry, silently running the whole simulation and
+	// delaying the launch error until completion.
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	e.Stop()
+	if !e.Stopped() {
+		t.Fatal("Stopped() false after Stop()")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("stopped engine fired %d events, want 0", count)
+	}
+	if e.Stopped() {
+		t.Error("stop request not consumed by Run")
+	}
+}
+
+func TestResumeAfterStop(t *testing.T) {
+	// Each Run consumes one stop request, so a stopped engine can resume.
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 6; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("first run fired %d events, want 2", count)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Errorf("after resume count = %d, want 6", count)
+	}
+}

@@ -231,22 +231,20 @@ type IntHistogram struct {
 }
 
 // Add increments the bucket for value v (v < 0 is ignored).
-func (h *IntHistogram) Add(v int) {
-	if v < 0 {
+func (h *IntHistogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN increments the bucket for v by n in O(1): the bucket slice grows
+// once and the count bumps directly (an earlier revision looped n times
+// over Add). Non-positive n and negative v are ignored.
+func (h *IntHistogram) AddN(v, n int) {
+	if v < 0 || n <= 0 {
 		return
 	}
-	for len(h.counts) <= v {
-		h.counts = append(h.counts, 0)
+	if len(h.counts) <= v {
+		h.counts = append(h.counts, make([]int, v+1-len(h.counts))...)
 	}
-	h.counts[v]++
-	h.total++
-}
-
-// AddN increments the bucket for v by n.
-func (h *IntHistogram) AddN(v, n int) {
-	for i := 0; i < n; i++ {
-		h.Add(v)
-	}
+	h.counts[v] += n
+	h.total += n
 }
 
 // Count returns the number of observations equal to v.

@@ -286,3 +286,21 @@ func TestCIContainsMeanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestIntHistogramAddNConstantTime(t *testing.T) {
+	var h IntHistogram
+	h.AddN(3, 1_000_000) // O(1): grows the slice once, bumps the bucket
+	h.AddN(0, 2)
+	h.AddN(-4, 7) // ignored: negative value
+	h.AddN(9, 0)  // ignored: non-positive count
+	h.AddN(9, -1) // ignored: non-positive count
+	if h.Total() != 1_000_002 {
+		t.Errorf("Total = %d, want 1000002", h.Total())
+	}
+	if h.Count(3) != 1_000_000 || h.Count(0) != 2 || h.Count(9) != 0 {
+		t.Errorf("unexpected counts: 3->%d 0->%d 9->%d", h.Count(3), h.Count(0), h.Count(9))
+	}
+	if h.MaxValue() != 3 {
+		t.Errorf("MaxValue = %d, want 3", h.MaxValue())
+	}
+}

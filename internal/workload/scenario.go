@@ -221,9 +221,13 @@ func (s Scenario) materialise(plat *cluster.Platform) ([]ior.Config, error) {
 	}
 	type span struct{ from, to int }
 	var spans []span
-	seen := map[string]int{}
 	cursor := 0
 	cfgs := make([]ior.Config, len(s.Jobs))
+
+	// Resolve every workload first so label dedup can see all base labels
+	// up front. Renaming duplicates to "<base>-jobN" must dodge both labels
+	// already assigned and later literal labels: jobs ["x", "x", "x-job1"]
+	// once produced two jobs named "x-job1", breaking Result.Job lookups.
 	for i, job := range s.Jobs {
 		if job.Workload == nil {
 			return nil, fmt.Errorf("workload: %s job %d has no workload", s.title(), i)
@@ -232,12 +236,29 @@ func (s Scenario) materialise(plat *cluster.Platform) ([]ior.Config, error) {
 			return nil, fmt.Errorf("workload: %s job %d: StartAt %v must be non-negative",
 				s.title(), i, job.StartAt)
 		}
-		cfg := job.Workload.Config(plat)
-		base := cfg.Label
-		if n := seen[base]; n > 0 {
-			cfg.Label = fmt.Sprintf("%s-job%d", base, n)
+		cfgs[i] = job.Workload.Config(plat)
+	}
+	taken := make(map[string]bool, len(cfgs)) // base labels + assigned labels
+	for i := range cfgs {
+		taken[cfgs[i].Label] = true
+	}
+	assigned := make(map[string]bool, len(cfgs))
+	for i := range cfgs {
+		base := cfgs[i].Label
+		if assigned[base] {
+			n := 1
+			candidate := fmt.Sprintf("%s-job%d", base, n)
+			for taken[candidate] || assigned[candidate] {
+				n++
+				candidate = fmt.Sprintf("%s-job%d", base, n)
+			}
+			cfgs[i].Label = candidate
 		}
-		seen[base]++
+		assigned[cfgs[i].Label] = true
+	}
+
+	for i, job := range s.Jobs {
+		cfg := cfgs[i]
 		if job.Stripes > 0 {
 			cfg.Hints.StripingFactor = job.Stripes
 		}

@@ -267,3 +267,56 @@ func TestJobMixScenario(t *testing.T) {
 		t.Error("ragged mix accepted")
 	}
 }
+
+func TestScenarioLabelCollisionProof(t *testing.T) {
+	// Jobs labelled ["x", "x", "x-job1"] once produced two jobs named
+	// "x-job1": the second "x" was renamed into the third job's literal
+	// label, breaking Result.Job lookups and report keys. Renames must
+	// dodge later literal labels too.
+	plat := quietCab()
+	sc := NewScenario("collide",
+		Job{Workload: IORJob{Cfg: smallIOR("x", 16)}},
+		Job{Workload: IORJob{Cfg: smallIOR("x", 16)}},
+		Job{Workload: IORJob{Cfg: smallIOR("x-job1", 16)}},
+	)
+	res, err := RunScenario(plat, sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := range res.Jobs {
+		seen[res.Jobs[i].Label]++
+	}
+	for label, n := range seen {
+		if n > 1 {
+			t.Fatalf("label %q assigned to %d jobs: %v", label, n, seen)
+		}
+	}
+	// The literal label must survive untouched, and every label must
+	// resolve to exactly one job via the lookup API.
+	if res.Jobs[2].Label != "x-job1" {
+		t.Errorf("literal label rewritten to %q", res.Jobs[2].Label)
+	}
+	for i := range res.Jobs {
+		if jr := res.Job(res.Jobs[i].Label); jr != &res.Jobs[i] {
+			t.Errorf("Result.Job(%q) resolved to the wrong job", res.Jobs[i].Label)
+		}
+	}
+}
+
+func TestScenarioDedupKeepsHistoricNames(t *testing.T) {
+	// The common case — n identical labels — must keep the established
+	// "x", "x-job1", "x-job2" naming so seeds and report keys are stable.
+	plat := quietCab()
+	sc := UniformScenario("uniform", IORJob{Cfg: smallIOR("x", 16)}, 3)
+	cfgs, err := sc.materialise(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x", "x-job1", "x-job2"}
+	for i, w := range want {
+		if cfgs[i].Label != w {
+			t.Errorf("job %d label = %q, want %q", i, cfgs[i].Label, w)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pfsim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"pfsim/internal/ior"
 	"pfsim/internal/pool"
@@ -53,9 +54,52 @@ func WithParallelism(n int) RunnerOption {
 
 // WithProgress installs a callback invoked after each completed
 // simulation unit with (done, total) counts. Calls are serialised and
-// arrive in done order.
+// arrive in done order. The count is monotonic across every internal
+// phase of one Runner call — contended scenario passes and the solo
+// baseline pass count into a single combined total, so progress bars
+// never jump backwards. The total may grow between phases (baseline
+// units are only known once the scenarios have run), but done never
+// decreases and never exceeds total.
 func WithProgress(fn func(done, total int)) RunnerOption {
 	return func(r *Runner) { r.progress = fn }
+}
+
+// progressTracker folds the phases of one Runner call into a single
+// monotonic (done, total) series. Phases register their unit counts with
+// addTotal as they become known; tick reports one completed unit. Safe
+// for concurrent use by pool workers.
+type progressTracker struct {
+	fn    func(done, total int)
+	mu    sync.Mutex
+	done  int
+	total int
+}
+
+// newTracker returns a tracker for one Runner call (nil-safe: a Runner
+// without WithProgress gets a tracker whose methods are no-ops).
+func (r *Runner) newTracker() *progressTracker {
+	return &progressTracker{fn: r.progress}
+}
+
+// addTotal registers n upcoming units.
+func (t *progressTracker) addTotal(n int) {
+	if t.fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total += n
+	t.mu.Unlock()
+}
+
+// tick reports one completed unit.
+func (t *progressTracker) tick() {
+	if t.fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	t.fn(t.done, t.total)
 }
 
 // WithoutSlowdowns skips the per-job solo baseline runs, leaving
@@ -83,14 +127,17 @@ func (r *Runner) RunScenario(plat *Platform, sc Scenario) (*ScenarioResult, erro
 	if err := r.ctx.Err(); err != nil {
 		return nil, err
 	}
+	tracker := r.newTracker()
+	tracker.addTotal(1)
 	res, err := workload.RunScenario(plat, sc, r.seed)
 	if err != nil {
 		return nil, err
 	}
+	tracker.tick()
 	if !r.slowdowns {
 		return res, nil
 	}
-	if err := r.applySlowdownsAll(plat, []*ScenarioResult{res}, []uint64{r.seed}); err != nil {
+	if err := r.applySlowdownsAll(plat, []*ScenarioResult{res}, []uint64{r.seed}, tracker); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -112,14 +159,15 @@ func (r *Runner) runSolo(plat *Platform, cfg IORConfig, seed uint64) (*IORResult
 // pool, in input order. Scenario i fails the whole call if it errors.
 func (r *Runner) RunScenarios(plat *Platform, scs []Scenario) ([]*ScenarioResult, error) {
 	out := make([]*ScenarioResult, len(scs))
-	tick := pool.Progress(len(scs), r.progress)
+	tracker := r.newTracker()
+	tracker.addTotal(len(scs))
 	err := pool.Run(r.ctx, r.parallelism, len(scs), func(i int) error {
 		res, err := workload.RunScenario(plat, scs[i], r.seed)
 		if err != nil {
 			return err
 		}
 		out[i] = res
-		tick()
+		tracker.tick()
 		return nil
 	})
 	if err != nil {
@@ -130,7 +178,7 @@ func (r *Runner) RunScenarios(plat *Platform, scs []Scenario) ([]*ScenarioResult
 		for i := range seeds {
 			seeds[i] = r.seed
 		}
-		if err := r.applySlowdownsAll(plat, out, seeds); err != nil {
+		if err := r.applySlowdownsAll(plat, out, seeds, tracker); err != nil {
 			return nil, err
 		}
 	}
@@ -151,14 +199,15 @@ func (r *Runner) Repeat(plat *Platform, sc Scenario, n int) ([]*ScenarioResult, 
 		base = plat.Seed
 	}
 	out := make([]*ScenarioResult, n)
-	tick := pool.Progress(n, r.progress)
+	tracker := r.newTracker()
+	tracker.addTotal(n)
 	err := pool.Run(r.ctx, r.parallelism, n, func(i int) error {
 		res, err := workload.RunScenario(plat, sc, base+uint64(i))
 		if err != nil {
 			return err
 		}
 		out[i] = res
-		tick()
+		tracker.tick()
 		return nil
 	})
 	if err != nil {
@@ -169,7 +218,7 @@ func (r *Runner) Repeat(plat *Platform, sc Scenario, n int) ([]*ScenarioResult, 
 		for i := range seeds {
 			seeds[i] = base + uint64(i)
 		}
-		if err := r.applySlowdownsAll(plat, out, seeds); err != nil {
+		if err := r.applySlowdownsAll(plat, out, seeds, tracker); err != nil {
 			return nil, err
 		}
 	}
@@ -178,8 +227,10 @@ func (r *Runner) Repeat(plat *Platform, sc Scenario, n int) ([]*ScenarioResult, 
 
 // applySlowdownsAll runs the solo baselines for every result in one flat
 // pool pass (result i's baselines use seeds[i]), so the baseline half of
-// a batch keeps the same parallel width as the scenario half.
-func (r *Runner) applySlowdownsAll(plat *Platform, results []*ScenarioResult, seeds []uint64) error {
+// a batch keeps the same parallel width as the scenario half. Baseline
+// units join the caller's progress tracker, continuing its monotonic
+// count rather than restarting from zero.
+func (r *Runner) applySlowdownsAll(plat *Platform, results []*ScenarioResult, seeds []uint64, tracker *progressTracker) error {
 	type unit struct {
 		cfg  IORConfig
 		seed uint64
@@ -193,14 +244,14 @@ func (r *Runner) applySlowdownsAll(plat *Platform, results []*ScenarioResult, se
 		}
 	}
 	baselines := make([]*ior.Result, len(units))
-	tick := pool.Progress(len(units), r.progress)
+	tracker.addTotal(len(units))
 	err := pool.Run(r.ctx, r.parallelism, len(units), func(k int) error {
 		base, err := r.runSolo(plat, units[k].cfg, units[k].seed)
 		if err != nil {
 			return fmt.Errorf("pfsim: solo baseline for %q: %w", units[k].cfg.Label, err)
 		}
 		baselines[k] = base
-		tick()
+		tracker.tick()
 		return nil
 	})
 	if err != nil {

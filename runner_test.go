@@ -256,3 +256,56 @@ func TestRunnerRunScenarios(t *testing.T) {
 		t.Fatalf("shape wrong: %d scenarios", len(out))
 	}
 }
+
+func TestRunnerProgressMonotonicAcrossPhases(t *testing.T) {
+	// One Runner call spans two internal phases: the contended scenario
+	// pass and the solo-baseline pass. Progress must be one monotonic
+	// (done, total) series over the combined units — an earlier revision
+	// restarted the count at each phase, so bars jumped backwards.
+	plat := Cab()
+	scs := []Scenario{
+		NewScenario("p1", ScenarioJob{Workload: IORWorkload(fastIOR("pa", 32))}),
+		NewScenario("p2", ScenarioJob{Workload: IORWorkload(fastIOR("pb", 64))}),
+	}
+	type call struct{ done, total int }
+	var calls []call
+	r := NewRunner(WithParallelism(1), WithProgress(func(done, total int) {
+		calls = append(calls, call{done, total})
+	}))
+	if _, err := r.RunScenarios(plat, scs); err != nil {
+		t.Fatal(err)
+	}
+	// 2 scenario units + 2 distinct solo baselines = 4 units.
+	if len(calls) != 4 {
+		t.Fatalf("progress calls = %v, want 4 entries", calls)
+	}
+	for i, c := range calls {
+		if c.done != i+1 {
+			t.Errorf("call %d: done = %d, want %d (monotonic)", i, c.done, i+1)
+		}
+		if c.done > c.total {
+			t.Errorf("call %d: done %d exceeds total %d", i, c.done, c.total)
+		}
+	}
+	if last := calls[len(calls)-1]; last.done != last.total {
+		t.Errorf("final call %+v: done != total", last)
+	}
+}
+
+func TestRunnerRunScenarioProgressIncludesBaselines(t *testing.T) {
+	plat := Cab()
+	sc := NewScenario("single", ScenarioJob{Workload: IORWorkload(fastIOR("solo", 32))})
+	var dones []int
+	lastTotal := 0
+	r := NewRunner(WithParallelism(1), WithProgress(func(done, total int) {
+		dones = append(dones, done)
+		lastTotal = total
+	}))
+	if _, err := r.RunScenario(plat, sc); err != nil {
+		t.Fatal(err)
+	}
+	// 1 scenario + 1 baseline, counted as one series.
+	if len(dones) != 2 || dones[0] != 1 || dones[1] != 2 || lastTotal != 2 {
+		t.Errorf("progress = %v (total %d), want [1 2] of 2", dones, lastTotal)
+	}
+}
