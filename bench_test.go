@@ -246,34 +246,24 @@ func BenchmarkScenarioHeterogeneous(b *testing.B) {
 	}
 }
 
-// solver1024Scenario is the solver-stress shape: 512 file-per-process
-// writers, each streaming to a private file with the default two-stripe
-// layout — 1,024 concurrent flows through one shared backbone, the flow
-// population a 1,024-rank PLFS-style job pushes through the fluid solver.
-func solver1024Scenario() (*Platform, Scenario) {
-	plat := Cab()
-	cfg := PaperIOR(512)
-	cfg.Label = "bench-solver1024"
-	cfg.FilePerProc = true
-	cfg.Collective = false
-	cfg.SegmentCount = 2
-	cfg.Reps = 1
-	return plat, NewScenario("bench-solver1024", ScenarioJob{Workload: IORWorkload(cfg)})
-}
-
-// BenchmarkSolver1024Flows measures the max-min solver on a 1,024-flow
-// scenario, in both solver modes:
+// benchSolver measures the max-min solver on a (2 × ranks)-flow
+// SolverStressScenario — the shape the BENCH_solver.json gate and
+// pfsim-metrics -solver-writers share —
+// in both solver modes:
 //
-//   - incremental: same-instant recompute coalescing plus active-link
-//     tracking (the default);
+//   - incremental: same-instant recompute coalescing, active-link
+//     tracking, unfixed-flow lists and the completion heap (the default);
 //   - reference: the pre-rework behaviour — a full progressive-filling
-//     pass over every link on every flow arrival and completion.
+//     pass over every link on every flow arrival and completion, and a
+//     linear scan for the next completion.
 //
 // Results are byte-identical across modes (the property tests enforce
-// it); only the solver work differs. linkvisits/op is the
-// machine-independent cost metric: the number of link records the solver
-// examined per simulated run.
-func BenchmarkSolver1024Flows(b *testing.B) {
+// it); only the solver work differs. linkvisits/op and flowsscanned/op
+// are the machine-independent cost metrics: the number of link and flow
+// records the solver examined per simulated run. heapops/op counts
+// completion-heap element operations (zero in reference mode, which
+// rescans every active flow per solve instead).
+func benchSolver(b *testing.B, ranks int) {
 	for _, bc := range []struct {
 		name      string
 		reference bool
@@ -282,7 +272,7 @@ func BenchmarkSolver1024Flows(b *testing.B) {
 		{"reference", true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			plat, sc := solver1024Scenario()
+			plat, sc := SolverStressScenario(ranks)
 			var stats flow.Stats
 			for i := 0; i < b.N; i++ {
 				var captured *lustre.System
@@ -300,9 +290,22 @@ func BenchmarkSolver1024Flows(b *testing.B) {
 			}
 			b.ReportMetric(float64(stats.Solves), "solves/op")
 			b.ReportMetric(float64(stats.LinkVisits), "linkvisits/op")
+			b.ReportMetric(float64(stats.Rounds), "rounds/op")
+			b.ReportMetric(float64(stats.FlowsScanned), "flowsscanned/op")
+			b.ReportMetric(float64(stats.HeapOps), "heapops/op")
 		})
 	}
 }
+
+// BenchmarkSolver1024Flows is the PR-2 solver-stress scenario: 512
+// file-per-process writers, 1,024 concurrent flows.
+func BenchmarkSolver1024Flows(b *testing.B) { benchSolver(b, 512) }
+
+// BenchmarkSolver4096Flows scales the solver stress 4×: 2,048
+// file-per-process writers, 4,096 concurrent flows — the population where
+// per-event linear rescans dominated before the completion heap and
+// unfixed-flow lists.
+func BenchmarkSolver4096Flows(b *testing.B) { benchSolver(b, 2048) }
 
 // BenchmarkSimulatorThroughput measures the simulator itself: simulated
 // MB of I/O processed per wall-clock second for a tuned 1,024-process

@@ -1,0 +1,173 @@
+// pfsim-benchgate gates CI on the solver's machine-independent cost
+// counters. It parses `go test -bench` output, looks up each gated
+// benchmark's counters in the committed BENCH_solver.json baseline, and
+// fails (exit 1) when any counter regressed by more than the baseline's
+// allowance. The counters are deterministic simulation counts — link
+// visits, flows scanned, heap operations, solves — so a regression is a
+// real behaviour change, never timing noise.
+//
+// Usage:
+//
+//	go test -bench=BenchmarkSolver -benchtime=1x -run='^$' . | tee bench.out
+//	pfsim-benchgate -baseline BENCH_solver.json bench.out
+//
+// With no positional argument the benchmark output is read from stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the part of BENCH_solver.json the gate consumes.
+type baselineFile struct {
+	Gate gate `json:"gate"`
+}
+
+// gate names the benchmarks and counters under regression control.
+type gate struct {
+	MaxRegressionPct float64                       `json:"max_regression_pct"`
+	Counters         map[string]map[string]float64 `json:"counters"`
+}
+
+// benchResult is one parsed benchmark line: its name (GOMAXPROCS suffix
+// stripped) and every reported metric, ns/op included.
+type benchResult struct {
+	name    string
+	metrics map[string]float64
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark result lines from `go test -bench` output.
+// A result line is "BenchmarkName[-P] N value unit [value unit]...".
+func parseBench(r io.Reader) ([]benchResult, error) {
+	var out []benchResult
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := benchResult{
+			name:    gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			metrics: map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: %s: bad value %q for %q", res.name, fields[i], fields[i+1])
+			}
+			res.metrics[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// check compares parsed results against the gate. It returns one line per
+// gated (benchmark, counter) pair and whether every pair passed. Missing
+// benchmarks or counters fail: a gate that silently skips is no gate.
+func check(g gate, results []benchResult) (lines []string, ok bool) {
+	if len(g.Counters) == 0 {
+		return []string{"benchgate: baseline gates no counters"}, false
+	}
+	byName := map[string]benchResult{}
+	for _, r := range results {
+		byName[r.name] = r
+	}
+	ok = true
+	names := make([]string, 0, len(g.Counters))
+	for name := range g.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res, found := byName[name]
+		if !found {
+			lines = append(lines, fmt.Sprintf("FAIL %s: benchmark missing from output", name))
+			ok = false
+			continue
+		}
+		counters := make([]string, 0, len(g.Counters[name]))
+		for c := range g.Counters[name] {
+			counters = append(counters, c)
+		}
+		sort.Strings(counters)
+		for _, counter := range counters {
+			base := g.Counters[name][counter]
+			limit := base * (1 + g.MaxRegressionPct/100)
+			got, found := res.metrics[counter]
+			switch {
+			case !found:
+				lines = append(lines, fmt.Sprintf("FAIL %s %s: counter missing from output", name, counter))
+				ok = false
+			case got > limit:
+				lines = append(lines, fmt.Sprintf("FAIL %s %s: %.0f exceeds baseline %.0f by %+.1f%% (allowed %+.1f%%)",
+					name, counter, got, base, 100*(got/base-1), g.MaxRegressionPct))
+				ok = false
+			default:
+				note := ""
+				if base > 0 && got < base*(1-g.MaxRegressionPct/100) {
+					note = " (improved: consider refreshing the baseline)"
+				}
+				lines = append(lines, fmt.Sprintf("ok   %s %s: %.0f vs baseline %.0f (%+.1f%%)%s",
+					name, counter, got, base, 100*(got/base-1), note))
+			}
+		}
+	}
+	return lines, ok
+}
+
+func run(baselinePath string, bench io.Reader, out io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var bl baselineFile
+	if err := json.Unmarshal(raw, &bl); err != nil {
+		return fmt.Errorf("benchgate: parsing %s: %w", baselinePath, err)
+	}
+	results, err := parseBench(bench)
+	if err != nil {
+		return err
+	}
+	lines, ok := check(bl.Gate, results)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	if !ok {
+		return fmt.Errorf("benchgate: solver cost counters regressed beyond %+.1f%% of %s", bl.Gate.MaxRegressionPct, baselinePath)
+	}
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_solver.json", "baseline JSON with the gate section")
+	flag.Parse()
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(*baseline, in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pfsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolver1024Flows/incremental-8         	       1	  42385671 ns/op	    420350 flowsscanned/op	     37999 heapops/op	   3181153 linkvisits/op	      5903 rounds/op	      1268 solves/op
+BenchmarkSolver1024Flows/reference             	       1	  75017714 ns/op	    588242 flowsscanned/op	         0 heapops/op	  36238097 linkvisits/op	      7996 rounds/op	      1780 solves/op
+PASS
+ok  	pfsim	0.121s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	// The GOMAXPROCS suffix is stripped; metrics are keyed by unit.
+	if results[0].name != "BenchmarkSolver1024Flows/incremental" {
+		t.Errorf("name = %q", results[0].name)
+	}
+	if got := results[0].metrics["linkvisits/op"]; got != 3181153 {
+		t.Errorf("linkvisits = %v", got)
+	}
+	if got := results[1].metrics["heapops/op"]; got != 0 {
+		t.Errorf("reference heapops = %v", got)
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX 1 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("no error for unparseable metric value")
+	}
+}
+
+func testGate() gate {
+	return gate{
+		MaxRegressionPct: 10,
+		Counters: map[string]map[string]float64{
+			"BenchmarkSolver1024Flows/incremental": {
+				"linkvisits/op":   3181153,
+				"flowsscanned/op": 420350,
+			},
+		},
+	}
+}
+
+func TestCheckPasses(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, ok := check(testGate(), results)
+	if !ok {
+		t.Fatalf("gate failed on matching counters:\n%s", strings.Join(lines, "\n"))
+	}
+	if len(lines) != 2 {
+		t.Errorf("report lines = %d, want 2", len(lines))
+	}
+}
+
+func TestCheckWithinAllowancePasses(t *testing.T) {
+	g := testGate()
+	results := []benchResult{{
+		name: "BenchmarkSolver1024Flows/incremental",
+		metrics: map[string]float64{
+			"linkvisits/op":   3181153 * 1.09, // +9% < 10% allowance
+			"flowsscanned/op": 420350,
+		},
+	}}
+	if lines, ok := check(g, results); !ok {
+		t.Errorf("+9%% should pass:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCheckRegressionFails(t *testing.T) {
+	g := testGate()
+	results := []benchResult{{
+		name: "BenchmarkSolver1024Flows/incremental",
+		metrics: map[string]float64{
+			"linkvisits/op":   3181153 * 1.11, // +11% > 10% allowance
+			"flowsscanned/op": 420350,
+		},
+	}}
+	lines, ok := check(g, results)
+	if ok {
+		t.Fatal("gate passed an +11% regression")
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL BenchmarkSolver1024Flows/incremental linkvisits/op") {
+		t.Errorf("missing failure line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "ok   BenchmarkSolver1024Flows/incremental flowsscanned/op") {
+		t.Errorf("passing counter not reported:\n%s", joined)
+	}
+}
+
+func TestCheckMissingBenchmarkFails(t *testing.T) {
+	if _, ok := check(testGate(), nil); ok {
+		t.Fatal("gate passed with no benchmark output")
+	}
+}
+
+func TestCheckMissingCounterFails(t *testing.T) {
+	results := []benchResult{{
+		name:    "BenchmarkSolver1024Flows/incremental",
+		metrics: map[string]float64{"linkvisits/op": 1},
+	}}
+	lines, ok := check(testGate(), results)
+	if ok {
+		t.Fatal("gate passed with a gated counter missing from output")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "counter missing") {
+		t.Errorf("missing-counter not reported:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCheckEmptyGateFails(t *testing.T) {
+	if _, ok := check(gate{MaxRegressionPct: 10}, nil); ok {
+		t.Fatal("empty gate must fail loudly")
+	}
+}
+
+func TestImprovementNoted(t *testing.T) {
+	results := []benchResult{{
+		name: "BenchmarkSolver1024Flows/incremental",
+		metrics: map[string]float64{
+			"linkvisits/op":   3181153 * 0.5,
+			"flowsscanned/op": 420350,
+		},
+	}}
+	lines, ok := check(testGate(), results)
+	if !ok {
+		t.Fatalf("improvement failed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "refreshing the baseline") {
+		t.Errorf("large improvement not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestRunAgainstCommittedBaseline exercises the full path — baseline JSON
+// decode, output parse, comparison — against the repository's committed
+// BENCH_solver.json, using that file's own gate values as the measured
+// output. This keeps the tool honest about the committed schema.
+func TestRunAgainstCommittedBaseline(t *testing.T) {
+	baseline := filepath.Join("..", "..", "BENCH_solver.json")
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	synthetic := `BenchmarkSolver1024Flows/incremental 1 1 ns/op 3181153 linkvisits/op 420350 flowsscanned/op 37999 heapops/op 1268 solves/op
+BenchmarkSolver4096Flows/incremental 1 1 ns/op 15619020 linkvisits/op 2240351 flowsscanned/op 125201 heapops/op 5089 solves/op
+`
+	var report strings.Builder
+	if err := run(baseline, strings.NewReader(synthetic), &report); err != nil {
+		t.Fatalf("run against committed baseline: %v\n%s", err, report.String())
+	}
+	if !strings.Contains(report.String(), "ok   BenchmarkSolver4096Flows/incremental linkvisits/op") {
+		t.Errorf("4096-flow gate line missing:\n%s", report.String())
+	}
+}

@@ -1,21 +1,28 @@
 // pfsim-metrics prints the paper's analytic contention metrics: the load
 // tables (Tables III, IV and VI), predictions for arbitrary file systems,
-// and PLFS self-contention estimates (Equations 5-6).
+// and PLFS self-contention estimates (Equations 5-6). It can also report
+// the fluid solver's own cost counters for a stress scenario, the
+// simulation-side metric the CI bench gate watches.
 //
 // Usage:
 //
 //	pfsim-metrics                     # reproduce Tables III, IV and VI
 //	pfsim-metrics -dtotal 480 -r 96 -jobs 8
 //	pfsim-metrics -plfs-ranks 2048    # PLFS load at a rank count
+//	pfsim-metrics -solver-writers 512 # solver work for a 1,024-flow storm
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pfsim"
+	"pfsim/internal/flow"
+	"pfsim/internal/lustre"
 	"pfsim/internal/report"
+	"pfsim/internal/workload"
 )
 
 func main() {
@@ -24,9 +31,16 @@ func main() {
 	jobs := flag.Int("jobs", 10, "maximum number of concurrent jobs")
 	plfsRanks := flag.Int("plfs-ranks", 0, "PLFS application rank count (Equations 5-6)")
 	maxLoad := flag.Float64("maxload", 0, "recommend the smallest request keeping load <= maxload")
+	solverWriters := flag.Int("solver-writers", 0,
+		"simulate this many file-per-process writers and print the solver's work counters")
 	flag.Parse()
 
 	switch {
+	case *solverWriters > 0:
+		if err := printSolverStats(os.Stdout, *solverWriters); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	case *plfsRanks > 0:
 		printPLFS(*dtotal, *plfsRanks)
 	case *r > 0:
@@ -34,6 +48,45 @@ func main() {
 	default:
 		printPaperTables()
 	}
+}
+
+// printSolverStats runs pfsim.SolverStressScenario — the exact workload
+// behind BenchmarkSolver*Flows and the BENCH_solver.json gate — once per
+// solver mode and prints the Net.Stats counters side by side. The
+// counters are deterministic, so the output doubles as a quick local
+// check against the committed baselines.
+func printSolverStats(w io.Writer, writers int) error {
+	plat, sc := pfsim.SolverStressScenario(writers)
+	var inc, ref flow.Stats
+	for _, reference := range []bool{false, true} {
+		res, err := workload.RunScenario(plat, sc, 0, func(sys *lustre.System) {
+			sys.Net().UseReferenceSolver(reference)
+		})
+		if err != nil {
+			return err
+		}
+		if reference {
+			ref = res.Solver
+		} else {
+			inc = res.Solver
+		}
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Solver work: %d file-per-process writers (%d flows)", writers, 2*writers),
+		"Counter", "Incremental", "Reference")
+	t.AddRow("solves", inc.Solves, ref.Solves)
+	t.AddRow("link visits", inc.LinkVisits, ref.LinkVisits)
+	t.AddRow("rate-fixing rounds", inc.Rounds, ref.Rounds)
+	t.AddRow("flows scanned", inc.FlowsScanned, ref.FlowsScanned)
+	t.AddRow("heap ops", inc.HeapOps, ref.HeapOps)
+	t.AddRow("coalesced recomputes", inc.Coalesced, ref.Coalesced)
+	t.Fprint(w)
+	fmt.Fprintf(w, "\nflows scanned per round: %.1f incremental vs %.1f reference (full rescan would pay %d)\n",
+		float64(inc.FlowsScanned)/float64(inc.Rounds),
+		float64(ref.FlowsScanned)/float64(ref.Rounds), 2*writers)
+	fmt.Fprintf(w, "heap ops per solve: %.1f (the pre-heap completion scan paid %d flow touches per solve)\n",
+		float64(inc.HeapOps)/float64(inc.Solves), 2*writers)
+	return nil
 }
 
 func printPaperTables() {

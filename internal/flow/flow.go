@@ -28,13 +28,28 @@
 //     no crossing flows cannot constrain any rate, so the allocation is
 //     identical to a full scan.
 //
+//   - Unfixed-flow lists: each progressive-filling round walks an explicit
+//     list of still-unfixed flows (compacted in admission order as rates
+//     are pinned) instead of rescanning the whole active population, so a
+//     solve with many rate-fixing rounds costs the sum of the shrinking
+//     round sizes rather than rounds × flows.
+//
+//   - Completion heap: the next completion event comes from an indexed
+//     min-heap of flow completion times, re-keyed only when a solve
+//     assigns a flow a different finish time and rebuilt wholesale when
+//     most keys move. Scheduling the next event is a peek at the root
+//     instead of a scan over every active flow, and the engine event is
+//     moved in place (sim.Engine.Reschedule) rather than cancelled and
+//     reposted.
+//
 // UseReferenceSolver restores the naive behaviour (full link scans, one
-// solve per change); the property tests use it as the oracle and the
-// benchmarks as the before/after baseline. Stats reports solver work for
-// both modes.
+// solve per change, linear completion scans); the property tests use it as
+// the oracle and the benchmarks as the before/after baseline. Stats
+// reports solver work for both modes.
 package flow
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 
@@ -117,6 +132,11 @@ type Flow struct {
 	finishAt  float64
 	finished  bool
 
+	// Completion-heap bookkeeping (incremental mode only).
+	due     float64 // absolute time the flow drains at its current rate; +Inf when stalled
+	heapIdx int     // position in Net.completions; -1 while not queued
+	seq     int64   // admission order, tie-break for equal due times
+
 	// Done fires when the transfer completes.
 	Done *sim.Signal
 	// onDone, if set, runs synchronously at completion before Done fires —
@@ -169,6 +189,20 @@ type Stats struct {
 	// Coalesced is the number of recompute requests absorbed by an
 	// already-pending solve event.
 	Coalesced int64
+	// Rounds is the number of rate-fixing rounds across all passes.
+	Rounds int64
+	// FlowsScanned is the number of flow records examined across
+	// rate-fixing rounds. The incremental solver touches only still-unfixed
+	// flows per round (the sum of the shrinking unfixed-list lengths); the
+	// reference solver rescans the whole active population every round
+	// (Rounds × active flows), which is the cost the benchmarks compare
+	// against.
+	FlowsScanned int64
+	// HeapOps is the number of completion-heap element operations: pushes,
+	// removals, per-flow re-keys and per-entry rebuild work. Zero in
+	// reference mode, which scans every active flow to find the next
+	// completion instead.
+	HeapOps int64
 }
 
 // FlowSpec describes one flow for StartBatch.
@@ -198,6 +232,50 @@ type Net struct {
 	reference   bool    // solve eagerly with full link scans (oracle mode)
 	satScratch  []*Link // reused saturation list, avoids per-round scans
 	stats       Stats
+
+	completions    compHeap    // active flows ordered by (due, seq); incremental mode only
+	dueChanged     []dueChange // completion keys moved by the in-progress solve
+	unfixedScratch []*Flow     // reused unfixed-flow list for progressive filling
+	flowSeq        int64       // admission counter feeding Flow.seq
+}
+
+// dueChange stages one completion-heap re-key. Keys are applied one at a
+// time (or in bulk via a rebuild) after the solve, never mid-heap-repair,
+// so every heap.Fix sees a heap that was valid before its single change.
+type dueChange struct {
+	f   *Flow
+	due float64
+}
+
+// compHeap is an indexed min-heap of active flows ordered by completion
+// time, ties broken by admission order. It implements container/heap.
+type compHeap []*Flow
+
+func (h compHeap) Len() int { return len(h) }
+func (h compHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h compHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *compHeap) Push(x any) {
+	f := x.(*Flow)
+	f.heapIdx = len(*h)
+	*h = append(*h, f)
+}
+func (h *compHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	f.heapIdx = -1
+	*h = old[:n-1]
+	return f
 }
 
 // Observe installs an observer (nil to remove).
@@ -232,11 +310,34 @@ func (n *Net) ResetStats() { n.stats = Stats{} }
 
 // UseReferenceSolver switches the network to the naive solver: one full
 // progressive-filling pass over every link on every flow arrival,
-// completion and capacity change, with no same-instant coalescing. It
-// exists as the correctness oracle for the incremental solver and as the
-// baseline the solver benchmarks measure against; simulations produce
-// byte-identical results in either mode.
-func (n *Net) UseReferenceSolver(on bool) { n.reference = on }
+// completion and capacity change, with no same-instant coalescing and a
+// linear scan for the next completion. It exists as the correctness
+// oracle for the incremental solver and as the baseline the solver
+// benchmarks measure against; simulations produce byte-identical results
+// in either mode. Switching with flows in flight rebuilds the completion
+// heap and recomputes, so the mode change is safe at any instant.
+func (n *Net) UseReferenceSolver(on bool) {
+	if on == n.reference {
+		return
+	}
+	n.reference = on
+	n.dueChanged = n.dueChanged[:0]
+	for i := range n.completions {
+		n.completions[i].heapIdx = -1
+		n.completions[i] = nil
+	}
+	n.completions = n.completions[:0]
+	if !on {
+		for _, f := range n.active {
+			f.due = math.Inf(1)
+			f.heapIdx = len(n.completions)
+			n.completions = append(n.completions, f)
+		}
+		if len(n.active) > 0 {
+			n.Recompute() // refresh completion keys and reschedule off the heap
+		}
+	}
+}
 
 // Start launches a transfer of sizeMB over path with an optional per-flow
 // rate cap (maxRate <= 0 means unlimited). Zero-sized flows complete at the
@@ -286,6 +387,7 @@ func (n *Net) admit(sp FlowSpec) *Flow {
 	if sp.SizeMB < 0 || math.IsNaN(sp.SizeMB) {
 		panic(fmt.Sprintf("flow: bad size %v for %q", sp.SizeMB, sp.Name))
 	}
+	n.flowSeq++
 	f := &Flow{
 		name:      sp.Name,
 		remaining: sp.SizeMB,
@@ -295,6 +397,9 @@ func (n *Net) admit(sp FlowSpec) *Flow {
 		started:   n.eng.Now(),
 		Done:      n.eng.NewSignal("flow:" + sp.Name),
 		onDone:    sp.OnDone,
+		due:       math.Inf(1),
+		heapIdx:   -1,
+		seq:       n.flowSeq,
 	}
 	if sp.SizeMB <= epsilonMB {
 		f.finished = true
@@ -320,6 +425,12 @@ func (n *Net) admit(sp FlowSpec) *Flow {
 		}
 		l.active++
 	}
+	if !n.reference {
+		// A +Inf key sinks to the heap's bottom for free; the coalesced
+		// solve assigns the real completion time.
+		heap.Push(&n.completions, f)
+		n.stats.HeapOps++
+	}
 	n.markDirty()
 	if n.observer != nil {
 		n.observer.FlowStarted(f)
@@ -327,9 +438,13 @@ func (n *Net) admit(sp FlowSpec) *Flow {
 	return f
 }
 
-// retire removes a drained flow from its links, maintaining the
-// active-link set.
+// retire removes a drained flow from its links and the completion heap,
+// maintaining the active-link set.
 func (n *Net) retire(f *Flow) {
+	if f.heapIdx >= 0 {
+		heap.Remove(&n.completions, f.heapIdx)
+		n.stats.HeapOps++
+	}
 	for _, l := range f.path {
 		l.active--
 		if l.active == 0 {
@@ -410,13 +525,132 @@ func (n *Net) Recompute() {
 //  3. continue until every flow's rate is fixed.
 //
 // Only the active-link set is scanned (idle links cannot constrain any
-// flow); reference mode scans every link instead, reproducing the naive
-// solver's cost.
+// flow), and every round walks the explicit unfixed-flow list, which is
+// compacted — in admission order, so the residual arithmetic is identical
+// to a full rescan — as rates are pinned. Reference mode dispatches to
+// assignRatesReference, which shares none of these optimisations: it is
+// the oracle, so a defect in the unfixed-list bookkeeping cannot cancel
+// out of the inc-vs-ref property tests.
 func (n *Net) assignRates() {
-	links := n.activeLinks
 	if n.reference {
-		links = n.links
+		n.assignRatesReference()
+		return
 	}
+	links := n.activeLinks
+	n.stats.Solves++
+	n.stats.LinkVisits += int64(len(links))
+	for _, l := range links {
+		l.residual = l.model.Capacity(l.active)
+		l.unfixed = 0
+		l.saturated = false
+	}
+	unfixed := n.unfixedScratch[:0]
+	for _, f := range n.active {
+		if f.finished {
+			continue
+		}
+		f.rate = -1
+		unfixed = append(unfixed, f)
+		for _, l := range f.path {
+			l.unfixed++
+		}
+	}
+	sat := n.satScratch[:0]
+	for len(unfixed) > 0 {
+		n.stats.Rounds++
+		n.stats.FlowsScanned += int64(len(unfixed))
+		minShare := math.Inf(1)
+		n.stats.LinkVisits += int64(len(links))
+		for _, l := range links {
+			if l.unfixed == 0 {
+				continue
+			}
+			res := l.residual
+			if res < 0 {
+				res = 0
+			}
+			if share := res / float64(l.unfixed); share < minShare {
+				minShare = share
+			}
+		}
+		// Fix rate-capped flows whose cap is at or below the share.
+		cappedFixed := false
+		for _, f := range unfixed {
+			if f.maxRate <= 0 || f.maxRate > minShare {
+				continue
+			}
+			n.fix(f, f.maxRate)
+			cappedFixed = true
+		}
+		if cappedFixed {
+			unfixed = compactUnfixed(unfixed)
+			continue
+		}
+		if math.IsInf(minShare, 1) {
+			// Only path-less capped flows remain; their caps exceeded every
+			// share constraint — fix them at their cap.
+			for i, f := range unfixed {
+				r := f.maxRate
+				if r <= 0 {
+					panic("flow: unconstrained flow in rate assignment")
+				}
+				n.fix(f, r)
+				unfixed[i] = nil
+			}
+			unfixed = unfixed[:0]
+			break
+		}
+		// Saturate bottleneck links and fix their flows at the fair share.
+		n.stats.LinkVisits += int64(len(links))
+		for _, l := range links {
+			if l.unfixed == 0 {
+				continue
+			}
+			res := l.residual
+			if res < 0 {
+				res = 0
+			}
+			if res/float64(l.unfixed) <= minShare*(1+1e-12)+1e-15 {
+				l.saturated = true
+				sat = append(sat, l)
+			}
+		}
+		progressed := false
+		for _, f := range unfixed {
+			onBottleneck := false
+			for _, l := range f.path {
+				if l.saturated {
+					onBottleneck = true
+					break
+				}
+			}
+			if onBottleneck {
+				n.fix(f, minShare)
+				progressed = true
+			}
+		}
+		for _, l := range sat {
+			l.saturated = false
+		}
+		sat = sat[:0]
+		if !progressed {
+			panic("flow: progressive filling made no progress")
+		}
+		unfixed = compactUnfixed(unfixed)
+	}
+	n.satScratch = sat[:0]
+	n.unfixedScratch = unfixed[:0]
+}
+
+// assignRatesReference is the naive progressive-filling pass, preserved
+// verbatim as the correctness oracle and cost baseline: every link is
+// scanned (idle ones included) and every round rescans the whole active
+// population instead of an unfixed-flow list. The rate-fixing order is
+// identical to the incremental path — active flows in admission order,
+// skipping already-fixed ones — so results are bit-identical while the
+// implementations stay independent.
+func (n *Net) assignRatesReference() {
+	links := n.links
 	n.stats.Solves++
 	n.stats.LinkVisits += int64(len(links))
 	for _, l := range links {
@@ -437,6 +671,8 @@ func (n *Net) assignRates() {
 	}
 	sat := n.satScratch[:0]
 	for unfixedCount > 0 {
+		n.stats.Rounds++
+		n.stats.FlowsScanned += int64(len(n.active))
 		minShare := math.Inf(1)
 		n.stats.LinkVisits += int64(len(links))
 		for _, l := range links {
@@ -525,36 +761,112 @@ func (n *Net) assignRates() {
 	n.satScratch = sat[:0]
 }
 
-// fix pins a flow's rate and charges it against its path's residuals.
+// compactUnfixed drops just-fixed flows from the unfixed list in place,
+// preserving admission order (which determines the order residuals are
+// charged, and therefore bit-exactness against a full rescan).
+func compactUnfixed(fs []*Flow) []*Flow {
+	w := 0
+	for _, f := range fs {
+		if f.rate < 0 {
+			fs[w] = f
+			w++
+		}
+	}
+	for i := w; i < len(fs); i++ {
+		fs[i] = nil
+	}
+	return fs[:w]
+}
+
+// fix pins a flow's rate, charges it against its path's residuals, and
+// stages the flow's completion-heap re-key when its finish time moved.
+// Every solve re-fixes every active flow, so after a solve each key holds
+// the freshly computed now + remaining/rate — never a stale value from an
+// earlier instant, which is what keeps the heap's minimum bit-identical
+// to the reference solver's linear scan.
 func (n *Net) fix(f *Flow, rate float64) {
 	f.rate = rate
 	for _, l := range f.path {
 		l.residual -= rate
 		l.unfixed--
 	}
+	if !n.reference {
+		due := math.Inf(1)
+		if rate > 1e-12 {
+			due = n.eng.Now() + f.remaining/rate
+		}
+		if due != f.due {
+			n.dueChanged = append(n.dueChanged, dueChange{f, due})
+		}
+	}
 }
 
 // scheduleNext arranges the next completion event at the earliest time any
 // active flow drains. Stalled flows (rate ~ 0) never complete on their own;
 // if every flow stalls the engine's deadlock detector reports the hang.
+//
+// Incremental mode applies the solve's staged re-keys to the completion
+// heap (one heap.Fix per moved flow, or a single rebuild when at least
+// half the keys moved) and peeks the root; the engine event is moved in
+// place via Reschedule. min over (now + dt_i) equals now + min over dt_i
+// — addition of a constant is monotone, so the event time is bit-identical
+// to the reference scan's Schedule(minDt). Reference mode keeps the naive
+// linear scan with cancel-and-repost.
 func (n *Net) scheduleNext() {
-	if n.nextEv != nil {
-		n.eng.Cancel(n.nextEv)
-		n.nextEv = nil
-	}
-	minDt := math.Inf(1)
-	for _, f := range n.active {
-		if f.finished || f.rate <= 1e-12 {
-			continue
+	if n.reference {
+		if n.nextEv != nil {
+			n.eng.Cancel(n.nextEv)
+			n.nextEv = nil
 		}
-		if dt := f.remaining / f.rate; dt < minDt {
-			minDt = dt
+		minDt := math.Inf(1)
+		for _, f := range n.active {
+			if f.finished || f.rate <= 1e-12 {
+				continue
+			}
+			if dt := f.remaining / f.rate; dt < minDt {
+				minDt = dt
+			}
 		}
-	}
-	if math.IsInf(minDt, 1) {
+		if math.IsInf(minDt, 1) {
+			return
+		}
+		n.nextEv = n.eng.Schedule(minDt, n.onCompletion)
 		return
 	}
-	n.nextEv = n.eng.Schedule(minDt, n.onCompletion)
+	if k := len(n.dueChanged); k > 0 {
+		if k*2 >= len(n.completions) {
+			for _, dc := range n.dueChanged {
+				dc.f.due = dc.due
+			}
+			heap.Init(&n.completions)
+			n.stats.HeapOps += int64(len(n.completions))
+		} else {
+			for _, dc := range n.dueChanged {
+				dc.f.due = dc.due
+				heap.Fix(&n.completions, dc.f.heapIdx)
+				n.stats.HeapOps++
+			}
+		}
+		for i := range n.dueChanged {
+			n.dueChanged[i] = dueChange{}
+		}
+		n.dueChanged = n.dueChanged[:0]
+	}
+	if len(n.completions) == 0 || math.IsInf(n.completions[0].due, 1) {
+		if n.nextEv != nil {
+			n.eng.Cancel(n.nextEv)
+			n.nextEv = nil
+		}
+		return
+	}
+	// Re-sequence every solve, exactly as cancel-and-repost would: the
+	// completion event's order among same-instant events must not depend
+	// on the solver mode, or downstream admission order — and with it the
+	// residual arithmetic — could diverge.
+	at := n.completions[0].due
+	if !n.eng.Reschedule(n.nextEv, at) {
+		n.nextEv = n.eng.ScheduleAt(at, n.onCompletion)
+	}
 }
 
 // onCompletion retires every flow that has drained (batching simultaneous
@@ -628,6 +940,45 @@ func (n *Net) CheckInvariants() error {
 		if (l.active > 0) != inSet {
 			return fmt.Errorf("flow: link %q active=%d but activeIdx=%d (set membership %v)",
 				l.name, l.active, l.activeIdx, inSet)
+		}
+	}
+	return n.checkHeap()
+}
+
+// checkHeap verifies the completion heap in incremental mode: it holds
+// exactly the active flows, every entry knows its own index, the heap
+// property holds under (due, seq), and each key matches the flow's
+// settled rate — lastUpdate + remaining/rate as computed by the most
+// recent solve, or +Inf when stalled.
+func (n *Net) checkHeap() error {
+	if n.reference {
+		if len(n.completions) != 0 {
+			return fmt.Errorf("flow: reference solver holds %d completion-heap entries", len(n.completions))
+		}
+		return nil
+	}
+	if len(n.completions) != len(n.active) {
+		return fmt.Errorf("flow: completion heap has %d entries for %d active flows",
+			len(n.completions), len(n.active))
+	}
+	for i, f := range n.completions {
+		if f.heapIdx != i {
+			return fmt.Errorf("flow: %q at heap position %d claims heapIdx %d", f.name, i, f.heapIdx)
+		}
+		if i > 0 {
+			p := n.completions[(i-1)/2]
+			if f.due < p.due || (f.due == p.due && f.seq < p.seq) {
+				return fmt.Errorf("flow: heap order violated at position %d (%q due %v under %q due %v)",
+					i, f.name, f.due, p.name, p.due)
+			}
+		}
+		want := math.Inf(1)
+		if f.rate > 1e-12 {
+			want = n.lastUpdate + f.remaining/f.rate
+		}
+		if f.due != want {
+			return fmt.Errorf("flow: %q completion key %v, want %v (rate %v, remaining %v)",
+				f.name, f.due, want, f.rate, f.remaining)
 		}
 	}
 	return nil

@@ -9,66 +9,117 @@ import (
 	"pfsim/internal/sim"
 )
 
-// solverOp is one step of a randomized schedule, replayable on any net.
-type solverOp struct {
-	at      float64
-	start   bool  // true: start a flow; false: change a link capacity
-	path    []int // link indices (start)
+// opKind discriminates the steps of a randomized schedule.
+type opKind int
+
+const (
+	opStart opKind = iota // start one flow
+	opBatch               // admit several flows via StartBatch
+	opCap                 // change a link's capacity model
+	opChain               // start a flow at the instant an earlier op's first flow completes
+)
+
+// specTmpl describes one flow over link indices, resolved per net at
+// replay time. A zero size is an instantaneous flow; a zero maxRate means
+// uncapped; an empty path with a positive maxRate is a path-less capped
+// flow.
+type specTmpl struct {
+	path    []int
 	size    float64
 	maxRate float64
-	link    int     // target link (capacity change)
-	mbs     float64 // new capacity (capacity change)
 	name    string
 }
 
-// randomSchedule draws a churny schedule of flow starts and capacity
-// changes over nLinks links. Several ops share instants on purpose, to
-// exercise same-instant coalescing.
+// solverOp is one step of a randomized schedule, replayable on any net.
+type solverOp struct {
+	at     float64
+	kind   opKind
+	specs  []specTmpl // opStart/opChain: one entry; opBatch: all entries
+	link   int        // opCap: target link
+	mbs    float64    // opCap: new capacity
+	target int        // opChain: index of the earlier flow-creating op to chain on
+}
+
+// randomSpec draws one flow description. Zero-duration flows and path-less
+// capped flows appear with small probability so the heap path sees both.
+func randomSpec(rng *rand.Rand, nLinks int, name string) specTmpl {
+	if rng.Intn(10) == 0 { // path-less capped flow
+		return specTmpl{size: 1 + rng.Float64()*500, maxRate: 1 + rng.Float64()*100, name: name}
+	}
+	pathLen := 1 + rng.Intn(3)
+	seen := map[int]bool{}
+	var path []int
+	for len(path) < pathLen {
+		k := rng.Intn(nLinks)
+		if !seen[k] {
+			seen[k] = true
+			path = append(path, k)
+		}
+	}
+	size := 1 + rng.Float64()*2000
+	if rng.Intn(8) == 0 {
+		size = 0 // zero-duration flow: completes at its admission instant
+	}
+	cap := 0.0
+	if rng.Intn(3) == 0 {
+		cap = 1 + rng.Float64()*100
+	}
+	return specTmpl{path: path, size: size, maxRate: cap, name: name}
+}
+
+// randomSchedule draws a churny schedule of single starts, batch
+// admissions, capacity changes and completion-chained arrivals over
+// nLinks links. Several ops share instants on purpose, to exercise
+// same-instant coalescing; chained ops land exactly on completion
+// instants, interleaving arrivals with completions.
 func randomSchedule(rng *rand.Rand, nLinks int) []solverOp {
 	var ops []solverOp
+	var starters []int // op indices that create at least one flow
 	at := 0.0
 	nOps := 8 + rng.Intn(50)
 	for i := 0; i < nOps; i++ {
 		if rng.Intn(3) > 0 { // bursts: 1/3 of ops land on a fresh instant
 			at += rng.Float64() * 3
 		}
-		if rng.Intn(4) == 3 && i > 0 {
+		switch r := rng.Intn(10); {
+		case r == 0 && i > 0:
 			ops = append(ops, solverOp{
 				at:   at,
+				kind: opCap,
 				link: rng.Intn(nLinks),
 				mbs:  5 + rng.Float64()*400,
 			})
-			continue
-		}
-		pathLen := 1 + rng.Intn(3)
-		seen := map[int]bool{}
-		var path []int
-		for len(path) < pathLen {
-			k := rng.Intn(nLinks)
-			if !seen[k] {
-				seen[k] = true
-				path = append(path, k)
+		case r == 1 && len(starters) > 0:
+			ops = append(ops, solverOp{
+				at:     at, // unused: the chain fires on completion
+				kind:   opChain,
+				specs:  []specTmpl{randomSpec(rng, nLinks, fmt.Sprintf("c%d", i))},
+				target: starters[rng.Intn(len(starters))],
+			})
+		case r <= 4:
+			width := 2 + rng.Intn(24)
+			specs := make([]specTmpl, width)
+			for j := range specs {
+				specs[j] = randomSpec(rng, nLinks, fmt.Sprintf("b%d_%d", i, j))
 			}
+			starters = append(starters, len(ops))
+			ops = append(ops, solverOp{at: at, kind: opBatch, specs: specs})
+		default:
+			starters = append(starters, len(ops))
+			ops = append(ops, solverOp{
+				at:    at,
+				kind:  opStart,
+				specs: []specTmpl{randomSpec(rng, nLinks, fmt.Sprintf("f%d", i))},
+			})
 		}
-		cap := 0.0
-		if rng.Intn(3) == 0 {
-			cap = 1 + rng.Float64()*100
-		}
-		ops = append(ops, solverOp{
-			at:      at,
-			start:   true,
-			path:    path,
-			size:    1 + rng.Float64()*2000,
-			maxRate: cap,
-			name:    fmt.Sprintf("f%d", i),
-		})
 	}
 	return ops
 }
 
 // replay builds a star of nLinks Const links with the given capacities,
-// schedules ops, runs the engine, and returns the flows, links and net.
-// With invariants set, CheckInvariants runs inside every op event.
+// schedules ops, runs the engine, and returns the flows (in creation
+// order), links and net. With invariants set, CheckInvariants runs inside
+// every op event.
 func replay(t *testing.T, ops []solverOp, caps []float64, reference, invariants bool) ([]*Flow, []*Link, *Net) {
 	t.Helper()
 	e := sim.NewEngine()
@@ -78,26 +129,74 @@ func replay(t *testing.T, ops []solverOp, caps []float64, reference, invariants 
 	for i, c := range caps {
 		links[i] = n.NewLink(fmt.Sprintf("l%d", i), Const(c))
 	}
-	flows := make([]*Flow, 0, len(ops))
+	resolve := func(sp specTmpl) FlowSpec {
+		path := make([]*Link, len(sp.path))
+		for i, k := range sp.path {
+			path[i] = links[k]
+		}
+		return FlowSpec{Name: sp.name, SizeMB: sp.size, MaxRate: sp.maxRate, Path: path}
+	}
+	check := func(where string) {
+		if invariants {
+			if err := n.CheckInvariants(); err != nil {
+				t.Errorf("invariants after %s: %v", where, err)
+			}
+		}
+	}
+	var flows []*Flow
+	firstFlow := make([]*Flow, len(ops)) // first flow created by each op, for chains
+	chainsOn := make(map[int][]solverOp) // target op index -> chained ops
 	for _, op := range ops {
-		op := op
-		e.Schedule(op.at, func() {
-			if op.start {
-				path := make([]*Link, len(op.path))
-				for i, k := range op.path {
-					path[i] = links[k]
-				}
-				flows = append(flows, n.Start(op.name, op.size, op.maxRate, path...))
-			} else {
+		if op.kind == opChain {
+			chainsOn[op.target] = append(chainsOn[op.target], op)
+		}
+	}
+	var armChains func(opIdx int)
+	armChains = func(opIdx int) {
+		target := firstFlow[opIdx]
+		for ci, chain := range chainsOn[opIdx] {
+			chain := chain
+			e.Spawn(fmt.Sprintf("chain%d_%d", opIdx, ci), func(p *sim.Proc) {
+				p.Wait(target.Done)
+				sp := resolve(chain.specs[0])
+				flows = append(flows, n.StartFunc(sp.Name, sp.SizeMB, sp.MaxRate, nil, sp.Path...))
+				check("chained start " + sp.Name)
+			})
+		}
+	}
+	for opIdx, op := range ops {
+		opIdx, op := opIdx, op
+		switch op.kind {
+		case opChain:
+			continue
+		case opCap:
+			e.Schedule(op.at, func() {
 				links[op.link].SetModel(Const(op.mbs))
 				n.Recompute()
-			}
-			if invariants {
-				if err := n.CheckInvariants(); err != nil {
-					t.Errorf("invariants after op at t=%v: %v", op.at, err)
+				check(fmt.Sprintf("capacity change at t=%v", op.at))
+			})
+		case opStart:
+			e.Schedule(op.at, func() {
+				sp := resolve(op.specs[0])
+				f := n.StartFunc(sp.Name, sp.SizeMB, sp.MaxRate, nil, sp.Path...)
+				flows = append(flows, f)
+				firstFlow[opIdx] = f
+				armChains(opIdx)
+				check("start " + sp.Name)
+			})
+		case opBatch:
+			e.Schedule(op.at, func() {
+				specs := make([]FlowSpec, len(op.specs))
+				for i, sp := range op.specs {
+					specs[i] = resolve(sp)
 				}
-			}
-		})
+				batch := n.StartBatch(specs)
+				flows = append(flows, batch...)
+				firstFlow[opIdx] = batch[0]
+				armChains(opIdx)
+				check(fmt.Sprintf("batch of %d at t=%v", len(specs), op.at))
+			})
+		}
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -106,13 +205,16 @@ func replay(t *testing.T, ops []solverOp, caps []float64, reference, invariants 
 }
 
 // TestIncrementalMatchesReferenceProperty drives randomized sequences of
-// flow starts, completions and capacity changes through the incremental
-// coalescing solver and the from-scratch reference solver on identical
-// topologies. Completion times and carried volumes must match bit for
-// bit, and the incremental net must satisfy CheckInvariants inside every
+// single starts, batch admissions (StartBatch), zero-duration flows,
+// capacity changes and completion-chained arrivals through the
+// incremental heap solver and the from-scratch reference solver on
+// identical topologies. Start times, completion times and carried volumes
+// must match bit for bit, and the incremental net must satisfy
+// CheckInvariants — including completion-heap consistency — inside every
 // event and after the run drains.
 func TestIncrementalMatchesReferenceProperty(t *testing.T) {
-	for seed := int64(0); seed < 25; seed++ {
+	sawBatch, sawChain, sawZero := false, false, false
+	for seed := int64(0); seed < 40; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
@@ -122,6 +224,19 @@ func TestIncrementalMatchesReferenceProperty(t *testing.T) {
 				caps[i] = 10 + rng.Float64()*500
 			}
 			ops := randomSchedule(rng, nLinks)
+			for _, op := range ops {
+				switch op.kind {
+				case opBatch:
+					sawBatch = true
+				case opChain:
+					sawChain = true
+				}
+				for _, sp := range op.specs {
+					if sp.size == 0 {
+						sawZero = true
+					}
+				}
+			}
 			incFlows, incLinks, inc := replay(t, ops, caps, false, true)
 			refFlows, refLinks, _ := replay(t, ops, caps, true, false)
 			if err := inc.CheckInvariants(); err != nil {
@@ -136,8 +251,15 @@ func TestIncrementalMatchesReferenceProperty(t *testing.T) {
 			}
 			for i := range incFlows {
 				fi, fr := incFlows[i], refFlows[i]
+				if fi.Name() != fr.Name() {
+					t.Fatalf("flow order diverged at %d: %s vs %s", i, fi.Name(), fr.Name())
+				}
 				if fi.Finished() != fr.Finished() {
 					t.Fatalf("flow %s: finished %v vs %v", fi.Name(), fi.Finished(), fr.Finished())
+				}
+				if math.Float64bits(fi.Started()) != math.Float64bits(fr.Started()) {
+					t.Errorf("flow %s: start %v vs reference %v (not bit-identical)",
+						fi.Name(), fi.Started(), fr.Started())
 				}
 				if math.Float64bits(fi.FinishedAt()) != math.Float64bits(fr.FinishedAt()) {
 					t.Errorf("flow %s: finish %v vs reference %v (not bit-identical)",
@@ -151,6 +273,10 @@ func TestIncrementalMatchesReferenceProperty(t *testing.T) {
 				}
 			}
 		})
+	}
+	if !sawBatch || !sawChain || !sawZero {
+		t.Errorf("schedule generator lost coverage: batch=%v chain=%v zero=%v",
+			sawBatch, sawChain, sawZero)
 	}
 }
 
@@ -270,5 +396,126 @@ func TestRecomputeFlushesPendingSolve(t *testing.T) {
 	}
 	if !a.Finished() || !b.Finished() {
 		t.Error("flows did not finish")
+	}
+}
+
+// TestHeapCountersAndDisjointRekeys: on disjoint paths (each flow alone on
+// its own link) an arrival or completion changes no other flow's rate, so
+// the completion heap absorbs each event with O(log F) re-keys instead of
+// a full-population rescan. The reference solver must report zero heap
+// work, and the incremental per-round flow scans must stay bounded by the
+// work actually available.
+func TestHeapCountersAndDisjointRekeys(t *testing.T) {
+	const nFlows = 64
+	run := func(reference bool) Stats {
+		e := sim.NewEngine()
+		n := NewNet(e)
+		n.UseReferenceSolver(reference)
+		for i := 0; i < nFlows; i++ {
+			i := i
+			l := n.NewLink(fmt.Sprintf("pipe%d", i), Const(10))
+			// Staggered arrivals, staggered completions: sizes grow so no
+			// two flows complete at the same instant.
+			e.Schedule(float64(i)*0.25, func() {
+				n.Start(fmt.Sprintf("d%d", i), 100+float64(i), 0, l)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Stats()
+	}
+	inc := run(false)
+	ref := run(true)
+	if ref.HeapOps != 0 {
+		t.Errorf("reference heap ops = %d, want 0", ref.HeapOps)
+	}
+	if inc.HeapOps == 0 {
+		t.Error("incremental solver recorded no heap ops")
+	}
+	if inc.Rounds == 0 || inc.FlowsScanned == 0 {
+		t.Errorf("round counters empty: rounds=%d flowsScanned=%d", inc.Rounds, inc.FlowsScanned)
+	}
+	// Disjoint flows all fix in one round per solve, so the flow scans per
+	// solve are the active population, never rounds x population.
+	if inc.FlowsScanned > inc.Solves*nFlows {
+		t.Errorf("flows scanned %d exceeds solves x flows (%d x %d)",
+			inc.FlowsScanned, inc.Solves, nFlows)
+	}
+	// Each event re-keys O(1) flows plus the event's own push/remove; far
+	// fewer total heap element operations than a per-event full rescan
+	// (which would be ~solves x flows).
+	if inc.HeapOps > inc.Solves*8 {
+		t.Errorf("heap ops %d not O(1) per solve (%d solves)", inc.HeapOps, inc.Solves)
+	}
+}
+
+// TestUseReferenceSolverToggleMidRun: switching modes with flows in
+// flight rebuilds the completion heap (incremental) or drops it
+// (reference) and the simulation still drains to the same completions.
+func TestUseReferenceSolverToggleMidRun(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	l := n.NewLink("pipe", Const(100))
+	a := n.Start("a", 1000, 0, l)
+	b := n.Start("b", 500, 0, l)
+	e.Schedule(2, func() {
+		n.UseReferenceSolver(true)
+		if err := n.CheckInvariants(); err != nil {
+			t.Errorf("after switch to reference: %v", err)
+		}
+	})
+	e.Schedule(4, func() {
+		n.UseReferenceSolver(false)
+		if err := n.CheckInvariants(); err != nil {
+			t.Errorf("after switch back: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Finished() || !b.Finished() {
+		t.Fatal("flows did not finish after mode toggles")
+	}
+	// Same loads either way: b (500 MB at 50 MB/s) then a alone.
+	if math.Abs(b.FinishedAt()-10) > 1e-9 || math.Abs(a.FinishedAt()-15) > 1e-9 {
+		t.Errorf("finish times = %v, %v; want 10, 15", b.FinishedAt(), a.FinishedAt())
+	}
+}
+
+// TestZeroDurationFlowsAtCompletionInstant: zero-sized flows admitted at
+// the exact instant another flow completes never enter the heap and never
+// perturb the survivors' schedule.
+func TestZeroDurationFlowsAtCompletionInstant(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		e := sim.NewEngine()
+		n := NewNet(e)
+		n.UseReferenceSolver(reference)
+		l := n.NewLink("pipe", Const(100))
+		short := n.Start("short", 100, 0, l) // done at t=2 under fair sharing
+		long := n.Start("long", 1000, 0, l)
+		var zero *Flow
+		e.Spawn("chain", func(p *sim.Proc) {
+			p.Wait(short.Done)
+			zero = n.Start("zero", 0, 0, l)
+			if !zero.Finished() {
+				t.Error("zero-sized flow did not complete at admission")
+			}
+			if err := n.CheckInvariants(); err != nil {
+				t.Errorf("reference=%v: %v", reference, err)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if zero == nil || zero.FinishedAt() != short.FinishedAt() {
+			t.Fatalf("reference=%v: zero flow not admitted at completion instant", reference)
+		}
+		if !long.Finished() {
+			t.Fatal("long flow did not drain")
+		}
 	}
 }

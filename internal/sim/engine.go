@@ -102,6 +102,33 @@ func (e *Engine) ScheduleAt(at float64, fn func()) *Event {
 	return ev
 }
 
+// Reschedule moves a pending event to fire at absolute virtual time at
+// (clamped to now), re-sequencing it as if it had been cancelled and
+// freshly scheduled: among events at the same instant it fires after
+// everything already queued, exactly like Cancel followed by ScheduleAt,
+// but without allocating a new event or paying two heap operations. This
+// is the decrease-key path for callers that keep one long-lived event and
+// move it — the flow solver's completion event — instead of
+// cancel-and-repost churn. It returns false, and does nothing, when the
+// event is nil, cancelled, or has already fired; callers then fall back
+// to ScheduleAt.
+func (e *Engine) Reschedule(ev *Event, at float64) bool {
+	if math.IsNaN(at) {
+		panic("sim: rescheduled to NaN time")
+	}
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		return false
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	heap.Fix(&e.events, ev.index)
+	return true
+}
+
 // Cancel removes a pending event; cancelling a fired or already-cancelled
 // event is a no-op.
 func (e *Engine) Cancel(ev *Event) {

@@ -441,3 +441,101 @@ func TestResumeAfterStop(t *testing.T) {
 		t.Errorf("after resume count = %d, want 6", count)
 	}
 }
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	ev := e.Schedule(5, func() { fired = append(fired, "moved") })
+	e.Schedule(3, func() { fired = append(fired, "fixed") })
+	if !e.Reschedule(ev, 1) {
+		t.Fatal("Reschedule on a pending event returned false")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "moved" || fired[1] != "fixed" {
+		t.Errorf("fire order = %v, want [moved fixed]", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("now = %v, want 3", e.Now())
+	}
+}
+
+// TestRescheduleResequences: a rescheduled event behaves exactly like a
+// cancelled-and-reposted one — at its new instant it fires after events
+// that were already queued there, even if it was created first.
+func TestRescheduleResequences(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	ev := e.Schedule(3, func() { fired = append(fired, "rescheduled") })
+	e.Schedule(4, func() { fired = append(fired, "earlier-queued") })
+	e.Schedule(2, func() {
+		if !e.Reschedule(ev, 4) {
+			t.Error("Reschedule failed")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"earlier-queued", "rescheduled"}
+	if len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("fire order = %v, want %v", fired, want)
+	}
+}
+
+func TestReschedulePastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	var ev *Event
+	ev = e.Schedule(10, func() { ran = true })
+	e.Schedule(5, func() {
+		if !e.Reschedule(ev, 1) {
+			t.Error("Reschedule failed")
+		}
+		if ev.Time() != 5 {
+			t.Errorf("event time = %v, want clamped to 5", ev.Time())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("rescheduled event never fired")
+	}
+	if e.Now() != 5 {
+		t.Errorf("now = %v, want 5", e.Now())
+	}
+}
+
+func TestRescheduleDeadEventsRefused(t *testing.T) {
+	e := NewEngine()
+	if e.Reschedule(nil, 1) {
+		t.Error("Reschedule(nil) returned true")
+	}
+	cancelled := e.Schedule(1, func() {})
+	e.Cancel(cancelled)
+	if e.Reschedule(cancelled, 2) {
+		t.Error("Reschedule on a cancelled event returned true")
+	}
+	fired := e.Schedule(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reschedule(fired, 2) {
+		t.Error("Reschedule on a fired event returned true")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after refused reschedules", e.Pending())
+	}
+}
+
+func TestRescheduleNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on NaN reschedule")
+		}
+	}()
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.Reschedule(ev, math.NaN())
+}

@@ -26,25 +26,49 @@ type Record struct {
 
 // Recorder captures flow lifecycles from a network. The zero value is
 // ready to use after Attach.
+//
+// Concurrency is sampled at instant boundaries: within one virtual
+// instant the interleaving of start and finish callbacks depends on the
+// solver mode (the incremental solver batches completions where the
+// reference solver retires them eagerly), so the old per-callback peak
+// could transiently differ between modes. The per-instant count — flows
+// open at entry plus flows started during the instant, which includes
+// everything that finishes at it — is order-independent, so both solvers
+// report identical telemetry.
 type Recorder struct {
 	records []Record
-	open    int
-	maxOpen int
+	open    int     // settled open count after the last callback
+	maxOpen int     // peak per-instant concurrency over committed instants
+	curT    float64 // instant currently being accumulated
+	atEntry int     // open count when curT began
+	started int     // flows started during curT
 }
 
 // Attach installs the recorder on a network (replacing any observer).
 func (r *Recorder) Attach(n *flow.Net) { n.Observe(r) }
 
-// FlowStarted implements flow.Observer.
-func (r *Recorder) FlowStarted(*flow.Flow) {
-	r.open++
-	if r.open > r.maxOpen {
-		r.maxOpen = r.open
+// sample commits the finished instant's concurrency when the clock moves.
+func (r *Recorder) sample(t float64) {
+	if t > r.curT {
+		if alive := r.atEntry + r.started; alive > r.maxOpen {
+			r.maxOpen = alive
+		}
+		r.curT = t
+		r.atEntry = r.open
+		r.started = 0
 	}
+}
+
+// FlowStarted implements flow.Observer.
+func (r *Recorder) FlowStarted(f *flow.Flow) {
+	r.sample(f.Started())
+	r.open++
+	r.started++
 }
 
 // FlowFinished implements flow.Observer.
 func (r *Recorder) FlowFinished(f *flow.Flow) {
+	r.sample(f.FinishedAt())
 	r.open--
 	rec := Record{
 		Name:   f.Name(),
@@ -68,8 +92,17 @@ func (r *Recorder) Records() []Record {
 // Len returns the number of completed transfers.
 func (r *Recorder) Len() int { return len(r.records) }
 
-// MaxConcurrent returns the peak number of simultaneously open flows.
-func (r *Recorder) MaxConcurrent() int { return r.maxOpen }
+// MaxConcurrent returns the peak number of flows alive at any virtual
+// instant: flows open when the instant began plus flows started during it
+// (a flow finishing at an instant was alive at it; an instantaneous flow
+// counts at its one instant). The count is identical in both solver
+// modes. The still-accumulating current instant is included.
+func (r *Recorder) MaxConcurrent() int {
+	if alive := r.atEntry + r.started; alive > r.maxOpen {
+		return alive
+	}
+	return r.maxOpen
+}
 
 // TotalMB returns the volume moved by completed transfers.
 func (r *Recorder) TotalMB() float64 {

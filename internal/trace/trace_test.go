@@ -137,3 +137,50 @@ func TestMakespanEmpty(t *testing.T) {
 		t.Errorf("empty makespan = (%v,%v)", s, e)
 	}
 }
+
+// TestMaxConcurrentSolverModeIdentical: at an instant where completions
+// and arrivals coincide, the incremental solver delivers finish callbacks
+// in a different order than the eager reference solver. Instant-boundary
+// sampling must report the same peak either way: flows open at the
+// instant's entry plus flows started during it.
+func TestMaxConcurrentSolverModeIdentical(t *testing.T) {
+	run := func(reference bool) (*Recorder, int) {
+		e, n, r := build(t)
+		n.UseReferenceSolver(reference)
+		l := n.NewLink("pipe", flow.Const(100))
+		short := n.Start("short", 100, 0, l) // drains at t=2 under fair share
+		n.Start("long", 900, 0, l)
+		// Two arrivals (one instantaneous) at the exact completion instant.
+		e.Spawn("chain", func(p *sim.Proc) {
+			p.Wait(short.Done)
+			n.Start("late", 50, 0, l)
+			n.Start("blip", 0, 0, l)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r, r.MaxConcurrent()
+	}
+	_, inc := run(false)
+	_, ref := run(true)
+	if inc != ref {
+		t.Fatalf("MaxConcurrent diverges between solver modes: incremental %d vs reference %d", inc, ref)
+	}
+	// At the completion instant: short and long are open at entry, late
+	// and blip start during it -> 4 alive.
+	if inc != 4 {
+		t.Errorf("MaxConcurrent = %d, want 4", inc)
+	}
+}
+
+// TestMaxConcurrentMidRun: the still-open current instant counts without
+// waiting for the next boundary.
+func TestMaxConcurrentMidRun(t *testing.T) {
+	_, n, r := build(t)
+	l := n.NewLink("pipe", flow.Const(100))
+	n.Start("a", 1000, 0, l)
+	n.Start("b", 1000, 0, l)
+	if r.MaxConcurrent() != 2 {
+		t.Errorf("mid-run MaxConcurrent = %d, want 2", r.MaxConcurrent())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pfsim/internal/cluster"
+	"pfsim/internal/flow"
 	"pfsim/internal/ior"
 	"pfsim/internal/lustre"
 	"pfsim/internal/mpiio"
@@ -345,6 +346,11 @@ type Result struct {
 	Jobs []JobResult
 	// Makespan is the virtual time at which the last job finished.
 	Makespan float64
+	// Solver holds the fluid solver's work counters for the run — solves,
+	// link visits, rate-fixing rounds, flows scanned and completion-heap
+	// operations. Machine-independent and deterministic, so progress and
+	// capacity tooling can report simulation cost alongside bandwidth.
+	Solver flow.Stats
 }
 
 // Aggregate computes cross-job summary statistics.
@@ -447,6 +453,7 @@ func RunScenario(plat *cluster.Platform, s Scenario, seed uint64, instrument ...
 			res.Makespan = res.Jobs[i].FinishedAt
 		}
 	}
+	res.Solver = sys.Net().Stats()
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package pfsim
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -307,5 +308,77 @@ func TestRunnerRunScenarioProgressIncludesBaselines(t *testing.T) {
 	// 1 scenario + 1 baseline, counted as one series.
 	if len(dones) != 2 || dones[0] != 1 || dones[1] != 2 || lastTotal != 2 {
 		t.Errorf("progress = %v (total %d), want [1 2] of 2", dones, lastTotal)
+	}
+}
+
+// TestRunnerCancelMidSweepDrainsWorkers cancels a parallel sweep from
+// inside its progress callback and asserts the Runner honours the
+// contract WithContext documents: the partial grid is discarded (no
+// result object escapes), the worker pool drains before Sweep returns
+// (no goroutines leak), and the same Runner refuses further work while
+// its context stays cancelled.
+func TestRunnerCancelMidSweepDrainsWorkers(t *testing.T) {
+	plat := Cab()
+	base := fastIOR("drain", 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	before := runtime.NumGoroutine()
+	r := NewRunner(WithContext(ctx), WithParallelism(4), WithProgress(func(done, total int) {
+		if done == 2 {
+			cancel()
+		}
+	}))
+	counts := []int{8, 16, 32, 64, 128, 160}
+	sizes := []float64{1, 32, 64, 128, 256}
+	grid, err := r.Sweep(plat, counts, sizes, SweepOptions{Tasks: 64, Reps: 1, Base: &base})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if grid != nil {
+		t.Fatal("cancelled sweep returned a partial grid as if complete")
+	}
+	// pool.Run waits for its workers before returning, so the goroutine
+	// count must fall back to the pre-sweep baseline. Poll briefly: the
+	// runtime needs a moment to reap exited goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("worker pool leaked goroutines: %d before sweep, %d after cancellation", before, g)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The cancelled context sticks to the Runner: later calls refuse work
+	// rather than returning partial results.
+	if _, err := r.RunIOR(plat, base); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunIOR after cancellation: err = %v, want context.Canceled", err)
+	}
+	// A fresh Runner on a live context is unaffected by the drained pool.
+	if _, err := NewRunner(WithParallelism(2)).RunIOR(plat, base); err != nil {
+		t.Errorf("fresh Runner after drain: %v", err)
+	}
+}
+
+// TestRunnerCancelMidRepeatDiscardsPartial covers the Repeat path: replicas
+// completed before the cancellation must not leak out as a short slice.
+func TestRunnerCancelMidRepeatDiscardsPartial(t *testing.T) {
+	plat := Cab()
+	base := fastIOR("repeat-cancel", 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRunner(WithContext(ctx), WithParallelism(2), WithoutSlowdowns(),
+		WithProgress(func(done, total int) {
+			if done == 1 {
+				cancel()
+			}
+		}))
+	res, err := r.Repeat(plat, UniformScenario("rc", IORWorkload(base), 1), 8)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled Repeat returned partial replicas")
 	}
 }

@@ -46,6 +46,25 @@ func UniformScenario(name string, w Workload, n int) Scenario {
 // striped collective writers of Sections IV and V.
 func IORWorkload(cfg IORConfig) Workload { return workload.IORJob{Cfg: cfg} }
 
+// SolverStressScenario is the canonical solver-stress shape on the Cab
+// platform: writers file-per-process ranks, each streaming a short
+// two-segment burst to a private file with the default two-stripe layout
+// — 2 × writers concurrent flows through one shared backbone. It is the
+// single source for `BenchmarkSolver*Flows`, the BENCH_solver.json
+// baselines the CI bench gate enforces, and `pfsim-metrics
+// -solver-writers`, so the three always measure the same workload.
+func SolverStressScenario(writers int) (*Platform, Scenario) {
+	plat := Cab()
+	name := fmt.Sprintf("bench-solver%d", 2*writers)
+	cfg := PaperIOR(writers)
+	cfg.Label = name
+	cfg.FilePerProc = true
+	cfg.Collective = false
+	cfg.SegmentCount = 2
+	cfg.Reps = 1
+	return plat, NewScenario(name, ScenarioJob{Workload: IORWorkload(cfg)})
+}
+
 // PLFSWorkload returns an n-rank application logging through ad_plfs
 // (Section VI): every rank appends to its own two-stripe log, so the job
 // self-contends at scale. mbPerRank <= 0 selects the Table II volume
