@@ -246,23 +246,46 @@ func BenchmarkScenarioHeterogeneous(b *testing.B) {
 	}
 }
 
+// reportSolverStats emits the machine-independent solver cost metrics:
+// the number of link and flow records the solver examined per simulated
+// run, completion-heap element operations (zero in reference mode, which
+// rescans every active flow per solve instead), per-component pass counts
+// and accrual settles. compflowspersolve/op is the headline partitioning
+// metric: the average population one progressive-filling pass touches —
+// ~the component size under partitioning, the whole active population
+// without it.
+func reportSolverStats(b *testing.B, stats flow.Stats) {
+	b.Helper()
+	b.ReportMetric(float64(stats.Solves), "solves/op")
+	b.ReportMetric(float64(stats.LinkVisits), "linkvisits/op")
+	b.ReportMetric(float64(stats.Rounds), "rounds/op")
+	b.ReportMetric(float64(stats.FlowsScanned), "flowsscanned/op")
+	b.ReportMetric(float64(stats.HeapOps), "heapops/op")
+	b.ReportMetric(float64(stats.ComponentsSolved), "componentssolved/op")
+	b.ReportMetric(float64(stats.ComponentFlowsScanned), "compflowsscanned/op")
+	b.ReportMetric(float64(stats.FlowsSettled), "flowssettled/op")
+	if stats.ComponentsSolved > 0 {
+		b.ReportMetric(float64(stats.ComponentFlowsScanned)/float64(stats.ComponentsSolved), "compflowspersolve/op")
+	}
+}
+
 // benchSolver measures the max-min solver on a (2 × ranks)-flow
 // SolverStressScenario — the shape the BENCH_solver.json gate and
 // pfsim-metrics -solver-writers share —
 // in both solver modes:
 //
-//   - incremental: same-instant recompute coalescing, active-link
-//     tracking, unfixed-flow lists and the completion heap (the default);
-//   - reference: the pre-rework behaviour — a full progressive-filling
-//     pass over every link on every flow arrival and completion, and a
-//     linear scan for the next completion.
+//   - incremental: component partitioning, per-flow accrual anchors,
+//     same-instant recompute coalescing, unfixed-flow lists and the
+//     completion heap (the default);
+//   - reference: the naive behaviour — a full progressive-filling pass
+//     over every link on every flow arrival and completion, and a linear
+//     scan for the next completion.
 //
 // Results are byte-identical across modes (the property tests enforce
-// it); only the solver work differs. linkvisits/op and flowsscanned/op
-// are the machine-independent cost metrics: the number of link and flow
-// records the solver examined per simulated run. heapops/op counts
-// completion-heap element operations (zero in reference mode, which
-// rescans every active flow per solve instead).
+// it); only the solver work differs. This scenario shares one backbone,
+// so it is a single component: the partitioning win shows up in
+// BenchmarkSolverSharded4096x16, the counters here guard against the
+// partitioned machinery regressing the monolithic case.
 func benchSolver(b *testing.B, ranks int) {
 	for _, bc := range []struct {
 		name      string
@@ -288,11 +311,46 @@ func benchSolver(b *testing.B, ranks int) {
 				}
 				stats = captured.Net().Stats()
 			}
-			b.ReportMetric(float64(stats.Solves), "solves/op")
-			b.ReportMetric(float64(stats.LinkVisits), "linkvisits/op")
-			b.ReportMetric(float64(stats.Rounds), "rounds/op")
-			b.ReportMetric(float64(stats.FlowsScanned), "flowsscanned/op")
-			b.ReportMetric(float64(stats.HeapOps), "heapops/op")
+			reportSolverStats(b, stats)
+		})
+	}
+}
+
+// BenchmarkSolverSharded4096x16 is the component-partitioning stress: the
+// BenchmarkSolver4096Flows population (4,096 concurrent flows) split
+// across 16 disjoint file systems under one engine and one solver
+// (SolverShardedScenario). Every shard is its own link-connectivity
+// component, so the partitioned solver's per-solve scan cost
+// (compflowspersolve/op) must track the 256-flow shard, not the 4,096-flow
+// population — roughly a 16× drop against the reference's global passes —
+// and accrual settles (flowssettled/op) charge only the touched shard's
+// flows per instant. Results are byte-identical across modes; the CI gate
+// watches the incremental counters.
+func BenchmarkSolverSharded4096x16(b *testing.B) {
+	const writers, shards = 128, 16
+	for _, bc := range []struct {
+		name      string
+		reference bool
+	}{
+		{"incremental", false},
+		{"reference", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			plat, scs := SolverShardedScenario(writers, shards)
+			var stats flow.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := workload.RunSharded(plat, scs, 0, func(_ int, sys *lustre.System) {
+					sys.Net().UseReferenceSolver(bc.reference)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Makespan <= 0 || len(res.Shards) != shards {
+					b.Fatal("sharded run malformed")
+				}
+				stats = res.Solver
+			}
+			reportSolverStats(b, stats)
 		})
 	}
 }

@@ -10,12 +10,18 @@
 //
 //	go test -bench=BenchmarkSolver -benchtime=1x -run='^$' . | tee bench.out
 //	pfsim-benchgate -baseline BENCH_solver.json bench.out
+//	pfsim-benchgate -baseline BENCH_solver.json -update bench.out
 //
 // With no positional argument the benchmark output is read from stdin.
+// -update rewrites the baseline's gated counter values in place from the
+// given benchmark output — the sanctioned way to refresh baselines
+// alongside an intentional solver change. Which (benchmark, counter)
+// pairs are gated, the allowance and every other field are preserved.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -153,8 +159,129 @@ func run(baselinePath string, bench io.Reader, out io.Writer) error {
 	return nil
 }
 
+// fmtCounter renders a counter value exactly, without scientific notation
+// or rounding: integers print as integers, ratios keep their decimals.
+func fmtCounter(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// baselineDoc mirrors BENCH_solver.json's canonical field order, so an
+// -update rewrite changes only the gated counter values: the description
+// header, command, environment and the whole history-record array pass
+// through as raw JSON, byte order intact (MarshalIndent re-indents raw
+// content but never reorders its keys). Counter keys within a benchmark
+// are written sorted — the one canonicalisation -update applies.
+type baselineDoc struct {
+	Description json.RawMessage `json:"description,omitempty"`
+	Command     json.RawMessage `json:"command,omitempty"`
+	CPU         json.RawMessage `json:"cpu,omitempty"`
+	Go          json.RawMessage `json:"go,omitempty"`
+	Records     json.RawMessage `json:"records,omitempty"`
+	Gate        gateDoc         `json:"gate"`
+}
+
+// gateDoc is the gate section with its surroundings preserved raw.
+type gateDoc struct {
+	Comment          json.RawMessage               `json:"comment,omitempty"`
+	MaxRegressionPct json.RawMessage               `json:"max_regression_pct,omitempty"`
+	Counters         map[string]map[string]float64 `json:"counters"`
+}
+
+// checkKnownFields refuses to rewrite a baseline containing fields outside
+// the baselineDoc/gateDoc schema: the typed round-trip would silently drop
+// them. Extending the file format means extending those structs first.
+func checkKnownFields(raw []byte) error {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return err
+	}
+	known := map[string]bool{"description": true, "command": true, "cpu": true, "go": true, "records": true, "gate": true}
+	for k := range top {
+		if !known[k] {
+			return fmt.Errorf("unknown top-level field %q; -update would drop it — teach cmd/pfsim-benchgate the field first", k)
+		}
+	}
+	var gate map[string]json.RawMessage
+	if err := json.Unmarshal(top["gate"], &gate); err != nil {
+		return err
+	}
+	knownGate := map[string]bool{"comment": true, "max_regression_pct": true, "counters": true}
+	for k := range gate {
+		if !knownGate[k] {
+			return fmt.Errorf("unknown gate field %q; -update would drop it — teach cmd/pfsim-benchgate the field first", k)
+		}
+	}
+	return nil
+}
+
+// update rewrites the baseline file's gate counters from the benchmark
+// output: every gated (benchmark, counter) pair takes the freshly measured
+// value. Which pairs are gated, the allowance, the description and the
+// history records survive untouched; a missing measurement or a baseline
+// field the schema does not know fails rather than silently dropping
+// anything.
+func update(baselinePath string, bench io.Reader, out io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("benchgate: parsing %s: %w", baselinePath, err)
+	}
+	if err := checkKnownFields(raw); err != nil {
+		return fmt.Errorf("benchgate: %s: %w", baselinePath, err)
+	}
+	if len(doc.Gate.Counters) == 0 {
+		return fmt.Errorf("benchgate: %s gates no counters", baselinePath)
+	}
+	results, err := parseBench(bench)
+	if err != nil {
+		return err
+	}
+	byName := map[string]benchResult{}
+	for _, r := range results {
+		byName[r.name] = r
+	}
+	names := make([]string, 0, len(doc.Gate.Counters))
+	for name := range doc.Gate.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res, found := byName[name]
+		if !found {
+			return fmt.Errorf("benchgate: benchmark %s missing from output; refusing a partial baseline update", name)
+		}
+		cs := doc.Gate.Counters[name]
+		cnames := make([]string, 0, len(cs))
+		for c := range cs {
+			cnames = append(cnames, c)
+		}
+		sort.Strings(cnames)
+		for _, counter := range cnames {
+			got, found := res.metrics[counter]
+			if !found {
+				return fmt.Errorf("benchgate: counter %s %s missing from output; refusing a partial baseline update", name, counter)
+			}
+			old := cs[counter]
+			cs[counter] = got
+			fmt.Fprintf(out, "set  %s %s: %s (was %s)\n", name, counter, fmtCounter(got), fmtCounter(old))
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep '<' and friends readable in prose fields
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return os.WriteFile(baselinePath, buf.Bytes(), 0o644)
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_solver.json", "baseline JSON with the gate section")
+	doUpdate := flag.Bool("update", false, "rewrite the baseline's gated counters from the benchmark output instead of checking")
 	flag.Parse()
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -165,6 +292,13 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+	}
+	if *doUpdate {
+		if err := update(*baseline, in, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*baseline, in, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -158,8 +158,9 @@ func TestRunAgainstCommittedBaseline(t *testing.T) {
 	if _, err := os.Stat(baseline); err != nil {
 		t.Fatalf("committed baseline missing: %v", err)
 	}
-	synthetic := `BenchmarkSolver1024Flows/incremental 1 1 ns/op 3181153 linkvisits/op 420350 flowsscanned/op 37999 heapops/op 1268 solves/op
-BenchmarkSolver4096Flows/incremental 1 1 ns/op 15619020 linkvisits/op 2240351 flowsscanned/op 125201 heapops/op 5089 solves/op
+	synthetic := `BenchmarkSolver1024Flows/incremental 1 1 ns/op 3181153 linkvisits/op 420350 flowsscanned/op 22042 heapops/op 1268 solves/op 1267 componentssolved/op 317714 compflowsscanned/op
+BenchmarkSolver4096Flows/incremental 1 1 ns/op 15619020 linkvisits/op 2240351 flowsscanned/op 94800 heapops/op 5089 solves/op 5088 componentssolved/op 1441101 compflowsscanned/op
+BenchmarkSolverSharded4096x16/incremental 1 1 ns/op 5296518 linkvisits/op 853482 flowsscanned/op 81316 heapops/op 2908 solves/op 4812 componentssolved/op 597830 compflowsscanned/op 72245 flowssettled/op 124.2 compflowspersolve/op
 `
 	var report strings.Builder
 	if err := run(baseline, strings.NewReader(synthetic), &report); err != nil {
@@ -167,5 +168,99 @@ BenchmarkSolver4096Flows/incremental 1 1 ns/op 15619020 linkvisits/op 2240351 fl
 	}
 	if !strings.Contains(report.String(), "ok   BenchmarkSolver4096Flows/incremental linkvisits/op") {
 		t.Errorf("4096-flow gate line missing:\n%s", report.String())
+	}
+}
+
+func TestUpdateRewritesGatedCounters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	orig := `{
+  "description": "keep me",
+  "records": [{"pr": 2, "note": "history"}],
+  "gate": {
+    "max_regression_pct": 10,
+    "counters": {
+      "BenchmarkSolver1024Flows/incremental": {
+        "linkvisits/op": 1,
+        "flowsscanned/op": 2
+      }
+    }
+  }
+}`
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := update(path, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "set  BenchmarkSolver1024Flows/incremental linkvisits/op: 3181153 (was 1)") {
+		t.Errorf("update log missing rewrite line:\n%s", out.String())
+	}
+	// The rewritten file must gate the measured values and keep the rest.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"description": "keep me"`) ||
+		!strings.Contains(string(raw), `"note": "history"`) {
+		t.Errorf("update dropped unrelated fields:\n%s", raw)
+	}
+	var check strings.Builder
+	if err := run(path, strings.NewReader(sampleOutput), &check); err != nil {
+		t.Errorf("freshly updated baseline does not pass its own gate: %v\n%s", err, check.String())
+	}
+}
+
+func TestUpdateRefusesPartialOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	orig := `{"gate": {"max_regression_pct": 10, "counters": {
+	  "BenchmarkSolver1024Flows/incremental": {"linkvisits/op": 1},
+	  "BenchmarkMissing": {"linkvisits/op": 1}
+	}}}`
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := update(path, strings.NewReader(sampleOutput), &out); err == nil ||
+		!strings.Contains(err.Error(), "BenchmarkMissing") {
+		t.Fatalf("partial update not refused: %v", err)
+	}
+	// Refusal must leave the baseline untouched.
+	raw, _ := os.ReadFile(path)
+	if string(raw) != orig {
+		t.Error("refused update still modified the baseline")
+	}
+}
+
+func TestUpdateRefusesUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	orig := `{"notes": "extra", "gate": {"max_regression_pct": 10, "counters": {
+	  "BenchmarkSolver1024Flows/incremental": {"linkvisits/op": 1}
+	}}}`
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := update(path, strings.NewReader(sampleOutput), &out); err == nil ||
+		!strings.Contains(err.Error(), `"notes"`) {
+		t.Fatalf("unknown top-level field not refused: %v", err)
+	}
+	orig2 := `{"gate": {"updated_at": "now", "max_regression_pct": 10, "counters": {
+	  "BenchmarkSolver1024Flows/incremental": {"linkvisits/op": 1}
+	}}}`
+	if err := os.WriteFile(path, []byte(orig2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, strings.NewReader(sampleOutput), &out); err == nil ||
+		!strings.Contains(err.Error(), `"updated_at"`) {
+		t.Fatalf("unknown gate field not refused: %v", err)
+	}
+	// Refusal leaves the file untouched.
+	raw, _ := os.ReadFile(path)
+	if string(raw) != orig2 {
+		t.Error("refused update still modified the baseline")
 	}
 }

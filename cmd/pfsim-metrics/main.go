@@ -75,15 +75,21 @@ func printSolverStats(w io.Writer, writers int) error {
 		fmt.Sprintf("Solver work: %d file-per-process writers (%d flows)", writers, 2*writers),
 		"Counter", "Incremental", "Reference")
 	t.AddRow("solves", inc.Solves, ref.Solves)
+	t.AddRow("components solved", inc.ComponentsSolved, ref.ComponentsSolved)
+	t.AddRow("component flows scanned", inc.ComponentFlowsScanned, ref.ComponentFlowsScanned)
 	t.AddRow("link visits", inc.LinkVisits, ref.LinkVisits)
 	t.AddRow("rate-fixing rounds", inc.Rounds, ref.Rounds)
 	t.AddRow("flows scanned", inc.FlowsScanned, ref.FlowsScanned)
+	t.AddRow("flows settled", inc.FlowsSettled, ref.FlowsSettled)
 	t.AddRow("heap ops", inc.HeapOps, ref.HeapOps)
 	t.AddRow("coalesced recomputes", inc.Coalesced, ref.Coalesced)
 	t.Fprint(w)
 	fmt.Fprintf(w, "\nflows scanned per round: %.1f incremental vs %.1f reference (full rescan would pay %d)\n",
 		float64(inc.FlowsScanned)/float64(inc.Rounds),
 		float64(ref.FlowsScanned)/float64(ref.Rounds), 2*writers)
+	fmt.Fprintf(w, "flows per component solve: %.1f incremental vs %.1f reference (the whole population)\n",
+		float64(inc.ComponentFlowsScanned)/float64(inc.ComponentsSolved),
+		float64(ref.ComponentFlowsScanned)/float64(ref.ComponentsSolved))
 	fmt.Fprintf(w, "heap ops per solve: %.1f (the pre-heap completion scan paid %d flow touches per solve)\n",
 		float64(inc.HeapOps)/float64(inc.Solves), 2*writers)
 	return nil

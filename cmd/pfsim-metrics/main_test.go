@@ -9,17 +9,21 @@ import (
 // counters are deterministic, so any drift here is a real solver
 // behaviour change — the same property the CI bench gate relies on.
 const golden64 = `Solver work: 64 file-per-process writers (128 flows)
-  Counter               Incremental  Reference
-  --------------------  -----------  ---------
-  solves                148          212
-  link visits           92833        2513264
-  rate-fixing rounds    437          609
-  flows scanned         14469        38997
-  heap ops              3326         0
-  coalesced recomputes  64           0
+  Counter                  Incremental  Reference
+  -----------------------  -----------  ---------
+  solves                   148          212
+  components solved        147          212
+  component flows scanned  9148         13046
+  link visits              92833        2513264
+  rate-fixing rounds       437          609
+  flows scanned            14469        38997
+  flows settled            2095         2095
+  heap ops                 2485         0
+  coalesced recomputes     108          0
 
 flows scanned per round: 33.1 incremental vs 64.0 reference (full rescan would pay 128)
-heap ops per solve: 22.5 (the pre-heap completion scan paid 128 flow touches per solve)
+flows per component solve: 62.2 incremental vs 61.5 reference (the whole population)
+heap ops per solve: 16.8 (the pre-heap completion scan paid 128 flow touches per solve)
 `
 
 func TestSolverStatsGolden(t *testing.T) {

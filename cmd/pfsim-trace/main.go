@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pfsim/internal/cluster"
@@ -25,26 +26,47 @@ import (
 	"pfsim/internal/workload"
 )
 
-func main() {
-	np := flag.Int("np", 1024, "number of MPI tasks")
-	api := flag.String("api", "lustre", "driver: ufs | lustre | plfs")
-	stripes := flag.Int("stripes", 160, "striping_factor hint")
-	stripeSize := flag.Float64("stripesize", 128, "striping_unit hint (MB)")
-	segments := flag.Int("s", 100, "segment count")
-	jobs := flag.Int("jobs", 1, "simultaneous copies of the job (contended scenario)")
-	plfsRanks := flag.Int("plfs", 0, "add an n-rank PLFS logger to the scenario")
-	csvPath := flag.String("csv", "", "write the raw transfer trace to this file")
-	slowest := flag.Int("slowest", 5, "how many straggler transfers to list")
-	flag.Parse()
+// options collects the command-line knobs; run is pure in (options, out),
+// so the golden-output test drives it directly.
+type options struct {
+	np           int
+	api          string
+	stripes      int
+	stripeSizeMB float64
+	segments     int
+	jobs         int
+	plfsRanks    int
+	csvPath      string
+	slowest      int
+}
 
+func main() {
+	var o options
+	flag.IntVar(&o.np, "np", 1024, "number of MPI tasks")
+	flag.StringVar(&o.api, "api", "lustre", "driver: ufs | lustre | plfs")
+	flag.IntVar(&o.stripes, "stripes", 160, "striping_factor hint")
+	flag.Float64Var(&o.stripeSizeMB, "stripesize", 128, "striping_unit hint (MB)")
+	flag.IntVar(&o.segments, "s", 100, "segment count")
+	flag.IntVar(&o.jobs, "jobs", 1, "simultaneous copies of the job (contended scenario)")
+	flag.IntVar(&o.plfsRanks, "plfs", 0, "add an n-rank PLFS logger to the scenario")
+	flag.StringVar(&o.csvPath, "csv", "", "write the raw transfer trace to this file")
+	flag.IntVar(&o.slowest, "slowest", 5, "how many straggler transfers to list")
+	flag.Parse()
+	if err := run(os.Stdout, o); err != nil {
+		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, o options) error {
 	plat := cluster.Cab()
-	cfg := ior.PaperConfig(*np)
+	cfg := ior.PaperConfig(o.np)
 	cfg.Label = "trace"
 	cfg.Reps = 1
-	cfg.SegmentCount = *segments
-	cfg.Hints.StripingFactor = *stripes
-	cfg.Hints.StripingUnitMB = *stripeSize
-	switch *api {
+	cfg.SegmentCount = o.segments
+	cfg.Hints.StripingFactor = o.stripes
+	cfg.Hints.StripingUnitMB = o.stripeSizeMB
+	switch o.api {
 	case "ufs":
 		cfg.API = mpiio.DriverUFS
 	case "lustre":
@@ -52,13 +74,12 @@ func main() {
 	case "plfs":
 		cfg.API = mpiio.DriverPLFS
 	default:
-		fmt.Fprintf(os.Stderr, "pfsim-trace: unknown api %q\n", *api)
-		os.Exit(2)
+		return fmt.Errorf("unknown api %q", o.api)
 	}
 
-	sc := workload.UniformScenario("trace", workload.IORJob{Cfg: cfg}, *jobs)
-	if *plfsRanks > 0 {
-		sc = sc.Add(workload.Job{Workload: workload.PLFSLogger{Ranks: *plfsRanks}})
+	sc := workload.UniformScenario("trace", workload.IORJob{Cfg: cfg}, o.jobs)
+	if o.plfsRanks > 0 {
+		sc = sc.Add(workload.Job{Workload: workload.PLFSLogger{Ranks: o.plfsRanks}})
 	}
 
 	rec := &trace.Recorder{}
@@ -66,46 +87,44 @@ func main() {
 		rec.Attach(sys.Net())
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
-		os.Exit(1)
+		return err
 	}
 
 	for i := range res.Jobs {
 		jr := &res.Jobs[i]
-		fmt.Printf("%s (%s, %d tasks): %.0f MB/s, finished at %.2f s\n",
+		fmt.Fprintf(w, "%s (%s, %d tasks): %.0f MB/s, finished at %.2f s\n",
 			jr.Label, jr.Config.API, jr.Config.NumTasks, jr.WriteMBs(), jr.FinishedAt)
 	}
-	fmt.Printf("\ntransfers: %d (peak concurrency %d), %.0f MB moved\n",
+	fmt.Fprintf(w, "\ntransfers: %d (peak concurrency %d), %.0f MB moved\n",
 		rec.Len(), rec.MaxConcurrent(), rec.TotalMB())
 	start, end := rec.Makespan()
-	fmt.Printf("makespan:  %.2f s (%.2f .. %.2f)\n\n", end-start, start, end)
+	fmt.Fprintf(w, "makespan:  %.2f s (%.2f .. %.2f)\n\n", end-start, start, end)
 
-	t := report.NewTable(fmt.Sprintf("%d slowest transfers", *slowest),
+	t := report.NewTable(fmt.Sprintf("%d slowest transfers", o.slowest),
 		"Name", "Start", "End", "MB", "MB/s")
-	for _, r := range rec.Slowest(*slowest) {
+	for _, r := range rec.Slowest(o.slowest) {
 		t.AddRow(r.Name, r.Start, r.End, r.SizeMB, r.MeanMBs)
 	}
-	t.Fprint(os.Stdout)
+	t.Fprint(w)
 
 	tl := rec.Timeline((end - start) / 20)
 	labels := make([]string, len(tl))
 	for i := range tl {
 		labels[i] = fmt.Sprintf("t%02d", i)
 	}
-	fmt.Println()
-	report.Bars(os.Stdout, "aggregate throughput timeline (MB/s)", labels, tl, 40)
+	fmt.Fprintln(w)
+	report.Bars(w, "aggregate throughput timeline (MB/s)", labels, tl, 40)
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := rec.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "pfsim-trace:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("\ntrace written to %s\n", *csvPath)
+		fmt.Fprintf(w, "\ntrace written to %s\n", o.csvPath)
 	}
+	return nil
 }

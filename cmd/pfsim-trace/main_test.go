@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenSmall is the exact output of a small two-job contended trace
+// (-np 8 -s 2 -stripes 4 -stripesize 1 -jobs 2 -slowest 3). The
+// simulation, the recorder and the table renderer are deterministic, so
+// any drift here is a real behaviour change in the traced physics or the
+// report formatting.
+const goldenSmall = `trace (ad_lustre, 8 tasks): 42 MB/s, finished at 1.54 s
+trace-job1 (ad_lustre, 8 tasks): 39 MB/s, finished at 1.63 s
+
+transfers: 8 (peak concurrency 8), 128 MB moved
+makespan:  1.63 s (0.00 .. 1.63)
+
+3 slowest transfers
+  Name                        Start  End   MB  MB/s
+  --------------------------  -----  ----  --  ----
+  cw:trace-job1.rep0:a0:o219  0.00   1.63  16  9.83
+  cw:trace-job1.rep0:a0:o246  0.00   1.63  16  9.83
+  cw:trace-job1.rep0:a0:o358  0.00   1.63  16  9.83
+
+aggregate throughput timeline (MB/s)
+  t00  ######################################## 80.21
+  t01  ######################################## 80.97
+  t02  ######################################## 80.97
+  t03  ######################################## 80.97
+  t04  ######################################## 80.97
+  t05  ######################################## 80.97
+  t06  ######################################## 80.97
+  t07  ######################################## 80.97
+  t08  ######################################## 80.97
+  t09  ######################################## 80.97
+  t10  ######################################## 80.97
+  t11  ######################################## 80.97
+  t12  ######################################## 80.97
+  t13  ######################################## 80.97
+  t14  ######################################## 80.97
+  t15  ######################################## 80.97
+  t16  ######################################## 80.97
+  t17  ######################################## 80.97
+  t18  ###################################### 76.41
+  t19  ################### 39.33
+  t20   0.25
+`
+
+func smallOpts() options {
+	return options{
+		np:           8,
+		api:          "lustre",
+		stripes:      4,
+		stripeSizeMB: 1,
+		segments:     2,
+		jobs:         2,
+		slowest:      3,
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenSmall {
+		t.Errorf("trace output drifted.\n--- got ---\n%s--- want ---\n%s", b.String(), goldenSmall)
+	}
+}
+
+func TestTraceCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	o := smallOpts()
+	o.csvPath = path
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "name,start_s,end_s,size_mb,mean_mbs" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	// 2 jobs x 8 tasks collective -> 8 aggregated stripe transfers.
+	if len(lines) != 9 {
+		t.Errorf("csv has %d records, want 8", len(lines)-1)
+	}
+	if !strings.Contains(b.String(), "trace written to") {
+		t.Error("csv path not reported")
+	}
+}
+
+func TestTraceBadAPI(t *testing.T) {
+	o := smallOpts()
+	o.api = "gpfs"
+	var b strings.Builder
+	if err := run(&b, o); err == nil {
+		t.Fatal("unknown api accepted")
+	}
+}

@@ -1,0 +1,229 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"pfsim/internal/sim"
+)
+
+// TestComponentLifecycle walks the three component transitions: disjoint
+// admissions create components, a shared-link admission merges them, and a
+// bridging flow's completion splits them again.
+func TestComponentLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	la := n.NewLink("la", Const(100))
+	lb := n.NewLink("lb", Const(100))
+	lc := n.NewLink("lc", Const(100))
+	a := n.Start("a", 2000, 0, la)
+	b := n.Start("b", 2000, 0, lb)
+	n.Recompute()
+	if got := n.Components(); got != 2 {
+		t.Fatalf("disjoint flows: %d components, want 2", got)
+	}
+	bridge := n.Start("bridge", 500, 0, la, lb)
+	n.Recompute()
+	if got := n.Components(); got != 1 {
+		t.Fatalf("after bridge admission: %d components, want 1 (merged)", got)
+	}
+	if a.comp != bridge.comp || b.comp != bridge.comp {
+		t.Fatal("bridge did not unify the components")
+	}
+	n.Start("c", 3000, 0, lc)
+	n.Recompute()
+	if got := n.Components(); got != 2 {
+		t.Fatalf("after disjoint third flow: %d components, want 2", got)
+	}
+	// bridge shares both links (50 MB/s each side): done at t=10, after
+	// which a and b must fall back into separate components.
+	e.Schedule(11, func() {
+		if !bridge.Finished() {
+			t.Error("bridge still running at t=11")
+		}
+		if got := n.Components(); got != 3 {
+			t.Errorf("after bridge completion: %d components, want 3 (split)", got)
+		}
+		if a.comp == b.comp {
+			t.Error("a and b still share a component after the bridge retired")
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Components(); got != 0 {
+		t.Fatalf("drained net still has %d components", got)
+	}
+}
+
+// TestSetModelMarksComponentDirty exercises the SetModel paths: with no
+// manual Recompute the change takes effect through the coalesced zero-delay
+// solve — re-solving only the touched component — and an explicit Recompute
+// still forces an immediate full settle. Both solver modes agree.
+func TestSetModelMarksComponentDirty(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		e := sim.NewEngine()
+		n := NewNet(e)
+		n.UseReferenceSolver(reference)
+		la := n.NewLink("la", Const(100))
+		lb := n.NewLink("lb", Const(100))
+		f1 := n.Start("f1", 1000, 0, la)
+		f2 := n.Start("f2", 1000, 0, lb)
+		e.Schedule(5, func() {
+			la.SetModel(Const(50)) // no Recompute: coalesced event applies it
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// f1: 500 MB by t=5, the rest at 50 MB/s -> t=15. f2 untouched: t=10.
+		if math.Abs(f1.FinishedAt()-15) > 1e-9 {
+			t.Errorf("reference=%v: f1 finished at %v, want 15", reference, f1.FinishedAt())
+		}
+		if math.Abs(f2.FinishedAt()-10) > 1e-9 {
+			t.Errorf("reference=%v: f2 finished at %v, want 10", reference, f2.FinishedAt())
+		}
+	}
+}
+
+// TestSetModelComponentIsolation counts component solves: a capacity
+// change in one component must not re-solve (or settle) the other.
+func TestSetModelComponentIsolation(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	la := n.NewLink("la", Const(100))
+	lb := n.NewLink("lb", Const(100))
+	n.Start("f1", 1000, 0, la)
+	f2 := n.Start("f2", 1000, 0, lb)
+	e.Schedule(5, func() { la.SetModel(Const(50)) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Component solves: 2 at admission (one per component), 1 at the t=5
+	// capacity change (la's component only), 0 at the two completion
+	// instants (each drains its component). A leak of the t=5 change into
+	// f2's component would show up as a third admission-era solve.
+	st := n.Stats()
+	if st.ComponentsSolved != 3 {
+		t.Errorf("components solved = %d, want 3 (f2's component re-solved?)", st.ComponentsSolved)
+	}
+	// Settles: f1 re-rated at t=5, and each flow settles once at its
+	// completion. f2 must never be settled by f1's capacity change.
+	if st.FlowsSettled != 3 {
+		t.Errorf("flows settled = %d, want 3", st.FlowsSettled)
+	}
+	if f2.FinishedAt() != 10 {
+		t.Errorf("f2 finished at %v, want 10", f2.FinishedAt())
+	}
+}
+
+// TestSetModelIdleLink: changing an idle link's model is free and applies
+// when a flow later crosses it.
+func TestSetModelIdleLink(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	l := n.NewLink("idle", Const(100))
+	l.SetModel(Const(25))
+	f := n.Start("x", 100, 0, l)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.FinishedAt()-4) > 1e-9 {
+		t.Errorf("finished at %v, want 4 (new model)", f.FinishedAt())
+	}
+}
+
+// TestSetModelThenRecompute: an explicit Recompute right after SetModel
+// makes the new rates visible immediately, mid-instant.
+func TestSetModelThenRecompute(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	l := n.NewLink("pipe", Const(100))
+	f := n.Start("x", 1000, 0, l)
+	n.Recompute()
+	if f.Rate() != 100 {
+		t.Fatalf("rate %v, want 100", f.Rate())
+	}
+	l.SetModel(Const(40))
+	n.Recompute()
+	if f.Rate() != 40 {
+		t.Errorf("rate after SetModel+Recompute = %v, want 40", f.Rate())
+	}
+	e.Stop()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyAccrualAnchors verifies the accrual contract: flows in untouched
+// components are not settled by foreign churn, while telemetry reads
+// (Link.Carried, Flow.Remaining) observe exact mid-run values on demand.
+func TestLazyAccrualAnchors(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNet(e)
+	la := n.NewLink("la", Const(100))
+	lb := n.NewLink("lb", Const(100))
+	f1 := n.Start("steady", 10000, 0, la)
+	// Churn in the other component: a completion every second.
+	for i := 0; i < 8; i++ {
+		fi := float64(i)
+		e.Schedule(fi, func() { n.Start("churn", 100, 0, lb) })
+	}
+	e.Schedule(5.5, func() {
+		if f1.settledAt != 0 {
+			t.Errorf("steady flow settled at %v by foreign churn; anchor should still be 0", f1.settledAt)
+		}
+		if got := f1.Remaining(); math.Abs(got-(10000-550)) > 1e-6 {
+			t.Errorf("Remaining() = %v, want 9450", got)
+		}
+		if got := la.Carried(); math.Abs(got-550) > 1e-6 {
+			t.Errorf("Carried() = %v, want 550", got)
+		}
+		// The read itself settled the flow.
+		if f1.settledAt != 5.5 {
+			t.Errorf("telemetry read left anchor at %v, want 5.5", f1.settledAt)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := la.Carried(); math.Abs(got-10000) > 1e-6 {
+		t.Errorf("final carried %v, want 10000", got)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedComponentCounters: K disjoint star file systems under one
+// net. Every component solve must scan only its own shard's flows (~N per
+// solve), never the whole population.
+func TestShardedComponentCounters(t *testing.T) {
+	const shards, flowsPer = 8, 16
+	e := sim.NewEngine()
+	n := NewNet(e)
+	for s := 0; s < shards; s++ {
+		bb := n.NewLink("bb", Const(500))
+		specs := make([]FlowSpec, flowsPer)
+		for i := range specs {
+			nic := n.NewLink("nic", Const(100))
+			specs[i] = FlowSpec{Name: "f", SizeMB: float64(100 + 10*i + s), Path: []*Link{nic, bb}}
+		}
+		n.StartBatch(specs)
+	}
+	n.Recompute()
+	if got := n.Components(); got != shards {
+		t.Fatalf("%d components, want %d", got, shards)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	perSolve := float64(st.ComponentFlowsScanned) / float64(st.ComponentsSolved)
+	if perSolve > flowsPer {
+		t.Errorf("component solves scan %.1f flows on average; want <= shard size %d (population %d)",
+			perSolve, flowsPer, shards*flowsPer)
+	}
+}

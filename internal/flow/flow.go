@@ -9,30 +9,42 @@
 //
 // # Solver cost
 //
-// The solver is the hot path of every experiment, so it avoids two
-// superlinear costs the naive formulation pays:
+// The solver is the hot path of every experiment, so it avoids every
+// superlinear cost the naive formulation pays:
+//
+//   - Component partitioning: max-min fairness only couples flows that
+//     share a link, directly or transitively. The network maintains the
+//     link-connectivity components of the active flows — union on admit,
+//     lazy split/rebuild when a completion may disconnect one — and tracks
+//     dirtiness per component, so a change in one file system's traffic
+//     re-solves and re-scans only that file system's component, never the
+//     whole population. Disjoint components have independent max-min
+//     allocations, so the partitioned solve is exact.
+//
+//   - Per-flow accrual anchors: volume accounting is lazy. Each flow
+//     carries an anchor (settledAt, remaining, rate); its remaining volume
+//     and its links' carried telemetry are settled only when its rate
+//     actually changes, when it completes, or when link telemetry
+//     (Link.Carried) is read — never merely because virtual time advanced
+//     somewhere else. Flow.Remaining computes its instantaneous value on
+//     the fly without touching the anchor. An instant that touches one
+//     component settles only the flows whose rates moved, instead of
+//     charging every active flow in the network.
 //
 //   - Same-instant coalescing: flow arrivals and completions do not solve
 //     immediately. They update the admission state eagerly and schedule one
 //     zero-delay "solver dirty" event, so a 1,024-rank collective that opens
 //     all its stripe streams in one virtual instant triggers a single
-//     progressive-filling pass instead of 1,024. Rates are only ever *read*
-//     across a positive time interval, and the dirty event fires before
-//     virtual time advances, so trajectories are byte-identical to solving
-//     on every change.
-//
-//   - Active-link tracking: progressive filling touches only links that
-//     currently carry flows (Net.activeLinks, maintained incrementally as
-//     flows start and finish). Idle links — the common case: most NICs and
-//     OSTs are untouched by a given change — are never scanned. Links with
-//     no crossing flows cannot constrain any rate, so the allocation is
-//     identical to a full scan.
+//     progressive-filling pass per touched component instead of 1,024.
+//     Rates are only ever *read* across a positive time interval, and the
+//     dirty event fires before virtual time advances, so trajectories are
+//     byte-identical to solving on every change.
 //
 //   - Unfixed-flow lists: each progressive-filling round walks an explicit
 //     list of still-unfixed flows (compacted in admission order as rates
-//     are pinned) instead of rescanning the whole active population, so a
-//     solve with many rate-fixing rounds costs the sum of the shrinking
-//     round sizes rather than rounds × flows.
+//     are pinned) instead of rescanning the whole component, so a solve
+//     with many rate-fixing rounds costs the sum of the shrinking round
+//     sizes rather than rounds × flows.
 //
 //   - Completion heap: the next completion event comes from an indexed
 //     min-heap of flow completion times, re-keyed only when a solve
@@ -42,22 +54,27 @@
 //     moved in place (sim.Engine.Reschedule) rather than cancelled and
 //     reposted.
 //
-// UseReferenceSolver restores the naive behaviour (full link scans, one
-// solve per change, linear completion scans); the property tests use it as
-// the oracle and the benchmarks as the before/after baseline. Stats
-// reports solver work for both modes.
+// UseReferenceSolver restores the naive behaviour (full link scans over
+// the whole network, one solve per change, linear completion scans); the
+// property tests use it as the oracle and the benchmarks as the
+// before/after baseline. Stats reports solver work for both modes.
+//
+// Capacity models must depend only on their own link's traffic (as every
+// model in this repository does): the partitioned solver re-reads a
+// link's capacity only when its component is re-solved.
 package flow
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"pfsim/internal/sim"
 )
 
-// epsilonMB is the residual byte count (in MB) below which a flow is
-// considered complete.
+// epsilonMB is the residual byte count (in MB) below which a freshly
+// admitted flow is considered instantaneous.
 const epsilonMB = 1e-9
 
 // CapacityModel yields a link's total capacity in MB/s given the number of
@@ -89,19 +106,43 @@ func (t Thrash) Capacity(streams int) float64 {
 	return t.Base / (1 + t.Gamma*float64(streams-1))
 }
 
+// component is one link-connectivity equivalence class of the active
+// flows: every flow in it shares a link — directly or through a chain of
+// other flows — with the rest, and no flow outside it crosses any of its
+// links. Rate solves, dirtiness and accrual settling operate per
+// component. Flows are kept in admission (seq) order, which is the order
+// progressive filling charges residuals in; link order is numerically
+// irrelevant (the solver only takes minima over links and per-link sums).
+type component struct {
+	flows []*Flow // active flows in admission order (finished ones linger until rebuild)
+	links []*Link // links currently carrying this component's flows
+
+	dirty   bool // needs a re-solve at the next flush
+	rebuild bool // lost a flow; connectivity must be recomputed before solving
+	queued  bool // already on Net.work
+	dead    bool // merged away, split, or emptied
+}
+
 // Link is a shared resource flows traverse.
 type Link struct {
 	name  string
 	model CapacityModel
+	net   *Net
 
-	active    int     // flows currently crossing the link
-	activeIdx int     // position in Net.activeLinks; -1 while idle
-	carried   float64 // MB carried so far (telemetry)
+	active  int        // flows currently crossing the link
+	comp    *component // owning component; nil while idle
+	compIdx int        // position in comp.links
+	carried float64    // MB settled so far (telemetry; see Carried)
 
 	// scratch used during rate computation
 	residual  float64
 	unfixed   int
 	saturated bool
+
+	// scratch used during component rebuilds (union-find over links)
+	dsuParent *Link
+	dsuEpoch  int64
+	child     *component
 }
 
 // Name returns the link's name.
@@ -110,12 +151,31 @@ func (l *Link) Name() string { return l.name }
 // Active reports the number of flows currently crossing the link.
 func (l *Link) Active() int { return l.active }
 
-// Carried reports the cumulative MB transported over the link.
-func (l *Link) Carried() float64 { return l.carried }
+// Carried reports the cumulative MB transported over the link. Accrual is
+// lazy, so the read settles the link's in-flight flows up to the current
+// instant first; the settle points are driven by rate changes and reads,
+// never by the solver mode, so the value is identical in both modes.
+func (l *Link) Carried() float64 {
+	if l.net != nil {
+		l.net.settleLink(l)
+	}
+	return l.carried
+}
 
-// SetModel replaces the capacity model. Callers must invoke Net.Recompute
-// afterwards for the change to take effect immediately.
-func (l *Link) SetModel(m CapacityModel) { l.model = m }
+// SetModel replaces the capacity model. The link's component is marked
+// dirty, so the change takes effect through the coalesced zero-delay solve
+// of the current instant (immediately in reference mode); call
+// Net.Recompute to force an immediate full settle instead. Changing an
+// idle link's model costs nothing until a flow crosses it. Passing the
+// model already installed signals an in-place parameter mutation (e.g. an
+// OST health change) and triggers the same component-local re-solve.
+func (l *Link) SetModel(m CapacityModel) {
+	l.model = m
+	if l.net == nil || l.comp == nil {
+		return
+	}
+	l.net.markDirty(l.comp)
+}
 
 // Model returns the current capacity model.
 func (l *Link) Model() CapacityModel { return l.model }
@@ -123,19 +183,27 @@ func (l *Link) Model() CapacityModel { return l.model }
 // Flow is an in-progress transfer.
 type Flow struct {
 	name      string
-	remaining float64 // MB
+	remaining float64 // MB, settled as of settledAt
 	size      float64 // MB, original
 	path      []*Link
 	maxRate   float64 // MB/s; <= 0 means unlimited
-	rate      float64
+	rate      float64 // allocation assigned by the most recent solve
+	committed float64 // rate in force across real time: the last per-instant commit
 	started   float64
+	settledAt float64 // accrual anchor: remaining/carried are exact as of this instant
 	finishAt  float64
 	finished  bool
 
-	// Completion-heap bookkeeping (incremental mode only).
-	due     float64 // absolute time the flow drains at its current rate; +Inf when stalled
-	heapIdx int     // position in Net.completions; -1 while not queued
-	seq     int64   // admission order, tie-break for equal due times
+	net        *Net
+	comp       *component
+	fixedEpoch int64 // solve epoch that last pinned this flow's rate
+
+	// Completion bookkeeping. due is the absolute time the flow drains at
+	// its current rate (+Inf when stalled), computed when the rate last
+	// changed; it doubles as the completion-heap key in incremental mode.
+	due     float64
+	heapIdx int   // position in Net.completions; -1 while not queued
+	seq     int64 // admission order, tie-break for equal due times
 
 	// Done fires when the transfer completes.
 	Done *sim.Signal
@@ -153,8 +221,19 @@ func (f *Flow) Name() string { return f.name }
 // Net.Recompute first when reading rates outside the engine loop.
 func (f *Flow) Rate() float64 { return f.rate }
 
-// Remaining returns the MB left to transfer.
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns the MB left to transfer at the current instant,
+// including volume accrued at the committed rate since the flow's last
+// settle (the read does not perturb the accrual anchor).
+func (f *Flow) Remaining() float64 {
+	if f.finished || f.net == nil {
+		return f.remaining
+	}
+	left := f.remaining - f.committed*(f.net.eng.Now()-f.settledAt)
+	if left < 0 {
+		return 0
+	}
+	return left
+}
 
 // Size returns the original transfer size in MB.
 func (f *Flow) Size() float64 { return f.size }
@@ -181,8 +260,20 @@ type Observer interface {
 // Stats counts solver work; see Net.Stats. The visit counters are the
 // machine-independent cost metric the solver benchmarks report.
 type Stats struct {
-	// Solves is the number of progressive-filling passes performed.
+	// Solves is the number of solver activations: coalesced per-instant
+	// flushes (plus forced Recomputes) in incremental mode, one per change
+	// in reference mode.
 	Solves int64
+	// ComponentsSolved is the number of per-component progressive-filling
+	// passes. The reference solver counts each of its global passes as one
+	// component — it treats the whole network as a single component.
+	ComponentsSolved int64
+	// ComponentFlowsScanned is the number of active flows handed to
+	// progressive-filling passes (the population each pass initialises and
+	// re-fixes). ComponentFlowsScanned/ComponentsSolved is the average
+	// population a solve touches: ~the component size under partitioning,
+	// the whole active population without it.
+	ComponentFlowsScanned int64
 	// LinkVisits is the number of link records examined across all passes
 	// (initialisation, share search and saturation marking).
 	LinkVisits int64
@@ -192,14 +283,23 @@ type Stats struct {
 	// Rounds is the number of rate-fixing rounds across all passes.
 	Rounds int64
 	// FlowsScanned is the number of flow records examined across
-	// rate-fixing rounds. The incremental solver touches only still-unfixed
-	// flows per round (the sum of the shrinking unfixed-list lengths); the
-	// reference solver rescans the whole active population every round
+	// rate-fixing rounds. The incremental solver touches only the
+	// still-unfixed flows of the dirty component per round; the reference
+	// solver rescans the whole active population every round
 	// (Rounds × active flows), which is the cost the benchmarks compare
 	// against.
 	FlowsScanned int64
+	// FlowsSettled is the number of accrual settles: flows whose remaining
+	// volume and link telemetry were advanced to the current instant
+	// because their committed rate changed, they completed, or a link's
+	// carried telemetry was read (Flow.Remaining reads do not settle).
+	// The pre-anchor accounting charged every active flow at every
+	// positive-dt instant instead; settles are identical in both solver
+	// modes (rate trajectories are identical), so the counter measures the
+	// accounting cost of the physics, not of the solver mode.
+	FlowsSettled int64
 	// HeapOps is the number of completion-heap element operations: pushes,
-	// removals, per-flow re-keys and per-entry rebuild work. Zero in
+	// pops, removals, per-flow re-keys and per-entry rebuild work. Zero in
 	// reference mode, which scans every active flow to find the next
 	// completion instead.
 	HeapOps int64
@@ -221,26 +321,42 @@ type FlowSpec struct {
 
 // Net is a fluid network bound to a sim engine.
 type Net struct {
-	eng         *sim.Engine
-	links       []*Link
-	activeLinks []*Link // links with at least one crossing flow
-	active      []*Flow
-	lastUpdate  float64
-	nextEv      *sim.Event
-	dirtyEv     *sim.Event // pending coalesced solve at the current instant
-	observer    Observer
-	reference   bool    // solve eagerly with full link scans (oracle mode)
-	satScratch  []*Link // reused saturation list, avoids per-round scans
-	stats       Stats
+	eng   *sim.Engine
+	links []*Link
 
-	completions    compHeap    // active flows ordered by (due, seq); incremental mode only
-	dueChanged     []dueChange // completion keys moved by the in-progress solve
-	unfixedScratch []*Flow     // reused unfixed-flow list for progressive filling
-	flowSeq        int64       // admission counter feeding Flow.seq
+	// activeFlows holds flows in admission order; completed flows linger
+	// as tombstones (finished == true) and are compacted once they are
+	// half the slice, so retiring stays amortised O(1) without disturbing
+	// the admission order the reference solver iterates in.
+	activeFlows      []*Flow
+	activeCount      int
+	finishedInActive int
+	activeLinkCount  int
+
+	comps     []*component // live components (dead ones compacted lazily)
+	deadComps int
+	work      []*component // components queued for the pending flush
+
+	nextEv    *sim.Event
+	dirtyEv   *sim.Event // pending coalesced solve at the current instant
+	observer  Observer
+	reference bool // solve eagerly with full link scans (oracle mode)
+
+	satScratch     []*Link
+	unfixedScratch []*Flow
+	cappedScratch  []*Flow
+	solvedScratch  []*component
+	stats          Stats
+	solveEpoch     int64
+	dsuEpoch       int64
+
+	completions compHeap    // active flows ordered by (due, seq); incremental mode only
+	dueChanged  []dueChange // completion keys moved by the in-progress flush
+	flowSeq     int64       // admission counter feeding Flow.seq
 }
 
 // dueChange stages one completion-heap re-key. Keys are applied one at a
-// time (or in bulk via a rebuild) after the solve, never mid-heap-repair,
+// time (or in bulk via a rebuild) after the flush, never mid-heap-repair,
 // so every heap.Fix sees a heap that was valid before its single change.
 type dueChange struct {
 	f   *Flow
@@ -291,16 +407,19 @@ func (n *Net) Engine() *sim.Engine { return n.eng }
 
 // NewLink adds a link with the given capacity model.
 func (n *Net) NewLink(name string, model CapacityModel) *Link {
-	l := &Link{name: name, model: model, activeIdx: -1}
+	l := &Link{name: name, model: model, net: n, compIdx: -1}
 	n.links = append(n.links, l)
 	return l
 }
 
 // ActiveFlows reports the number of unfinished flows.
-func (n *Net) ActiveFlows() int { return len(n.active) }
+func (n *Net) ActiveFlows() int { return n.activeCount }
 
 // ActiveLinks reports the number of links currently carrying flows.
-func (n *Net) ActiveLinks() int { return len(n.activeLinks) }
+func (n *Net) ActiveLinks() int { return n.activeLinkCount }
+
+// Components reports the number of live link-connectivity components.
+func (n *Net) Components() int { return len(n.comps) - n.deadComps }
 
 // Stats returns the accumulated solver work counters.
 func (n *Net) Stats() Stats { return n.stats }
@@ -309,16 +428,20 @@ func (n *Net) Stats() Stats { return n.stats }
 func (n *Net) ResetStats() { n.stats = Stats{} }
 
 // UseReferenceSolver switches the network to the naive solver: one full
-// progressive-filling pass over every link on every flow arrival,
-// completion and capacity change, with no same-instant coalescing and a
-// linear scan for the next completion. It exists as the correctness
-// oracle for the incremental solver and as the baseline the solver
-// benchmarks measure against; simulations produce byte-identical results
-// in either mode. Switching with flows in flight rebuilds the completion
-// heap and recomputes, so the mode change is safe at any instant.
+// progressive-filling pass over every link in the network on every flow
+// arrival, completion and capacity change, with no same-instant coalescing,
+// no component partitioning and a linear scan for the next completion. It
+// exists as the correctness oracle for the partitioned solver and as the
+// baseline the solver benchmarks measure against; simulations produce
+// byte-identical results in either mode. Switching with flows in flight
+// settles pending work under the outgoing mode and rebuilds the completion
+// heap, so the mode change is safe at any instant.
 func (n *Net) UseReferenceSolver(on bool) {
 	if on == n.reference {
 		return
+	}
+	if n.dirtyEv != nil || len(n.work) > 0 {
+		n.Recompute()
 	}
 	n.reference = on
 	n.dueChanged = n.dueChanged[:0]
@@ -328,14 +451,18 @@ func (n *Net) UseReferenceSolver(on bool) {
 	}
 	n.completions = n.completions[:0]
 	if !on {
-		for _, f := range n.active {
-			f.due = math.Inf(1)
+		// Completion keys are maintained in both modes (fix updates due on
+		// every rate change), so the heap rebuilds directly from them.
+		for _, f := range n.activeFlows {
+			if f.finished {
+				continue
+			}
 			f.heapIdx = len(n.completions)
 			n.completions = append(n.completions, f)
 		}
-		if len(n.active) > 0 {
-			n.Recompute() // refresh completion keys and reschedule off the heap
-		}
+		heap.Init(&n.completions)
+		n.stats.HeapOps += int64(len(n.completions))
+		n.scheduleNext()
 	}
 }
 
@@ -350,29 +477,17 @@ func (n *Net) Start(name string, sizeMB, maxRate float64, path ...*Link) *Flow {
 // the flow drains (immediately for zero-sized flows), before Done fires and
 // before rates are recomputed.
 func (n *Net) StartFunc(name string, sizeMB, maxRate float64, onDone func(), path ...*Link) *Flow {
-	if sizeMB > epsilonMB {
-		// Zero-sized flows never advance accounting: they existed for no
-		// interval, and charging the elapsed time here would split the
-		// integration interval other flows see.
-		n.advance()
-	}
 	return n.admit(FlowSpec{Name: name, SizeMB: sizeMB, MaxRate: maxRate, OnDone: onDone, Path: path})
 }
 
 // StartBatch admits a set of flows in one operation — the entry point for
 // collectives that open all their stripe streams at once (two-phase
-// writes, PLFS log storms, file-per-process fans). The batch charges
-// elapsed time once and requests a single coalesced solve, so its cost is
-// O(flows) bookkeeping plus one progressive-filling pass regardless of
-// batch width. Flows are admitted (and observers notified) in spec order,
-// exactly as the equivalent StartFunc sequence would.
+// writes, PLFS log storms, file-per-process fans). The batch requests a
+// single coalesced solve per touched component, so its cost is O(flows)
+// bookkeeping plus one progressive-filling pass per component regardless
+// of batch width. Flows are admitted (and observers notified) in spec
+// order, exactly as the equivalent StartFunc sequence would.
 func (n *Net) StartBatch(specs []FlowSpec) []*Flow {
-	for i := range specs {
-		if specs[i].SizeMB > epsilonMB {
-			n.advance() // once: later calls in this instant see dt == 0
-			break
-		}
-	}
 	out := make([]*Flow, len(specs))
 	for i := range specs {
 		out[i] = n.admit(specs[i])
@@ -380,9 +495,9 @@ func (n *Net) StartBatch(specs []FlowSpec) []*Flow {
 	return out
 }
 
-// admit adds one flow at the current instant: accounting is applied
-// eagerly, the rate solve is deferred to the coalesced dirty event.
-// Callers must advance() first.
+// admit adds one flow at the current instant: component membership is
+// unioned eagerly, the rate solve is deferred to the coalesced dirty event
+// (performed immediately in reference mode).
 func (n *Net) admit(sp FlowSpec) *Flow {
 	if sp.SizeMB < 0 || math.IsNaN(sp.SizeMB) {
 		panic(fmt.Sprintf("flow: bad size %v for %q", sp.SizeMB, sp.Name))
@@ -395,6 +510,8 @@ func (n *Net) admit(sp FlowSpec) *Flow {
 		path:      sp.Path,
 		maxRate:   sp.MaxRate,
 		started:   n.eng.Now(),
+		settledAt: n.eng.Now(),
+		net:       n,
 		Done:      n.eng.NewSignal("flow:" + sp.Name),
 		onDone:    sp.OnDone,
 		due:       math.Inf(1),
@@ -417,106 +534,417 @@ func (n *Net) admit(sp FlowSpec) *Flow {
 	if len(sp.Path) == 0 && sp.MaxRate <= 0 {
 		panic(fmt.Sprintf("flow: %q has no path and no rate cap; would complete instantaneously", sp.Name))
 	}
-	n.active = append(n.active, f)
+	n.activeFlows = append(n.activeFlows, f)
+	n.activeCount++
 	for _, l := range f.path {
 		if l.active == 0 {
-			l.activeIdx = len(n.activeLinks)
-			n.activeLinks = append(n.activeLinks, l)
+			n.activeLinkCount++
 		}
 		l.active++
 	}
+	n.attach(f)
 	if !n.reference {
 		// A +Inf key sinks to the heap's bottom for free; the coalesced
 		// solve assigns the real completion time.
 		heap.Push(&n.completions, f)
 		n.stats.HeapOps++
 	}
-	n.markDirty()
+	n.markDirty(f.comp)
 	if n.observer != nil {
 		n.observer.FlowStarted(f)
 	}
 	return f
 }
 
-// retire removes a drained flow from its links and the completion heap,
-// maintaining the active-link set.
-func (n *Net) retire(f *Flow) {
-	if f.heapIdx >= 0 {
-		heap.Remove(&n.completions, f.heapIdx)
-		n.stats.HeapOps++
-	}
+// attach places a freshly admitted flow in a component: the union of its
+// path links' components, merged if the flow bridges several, or a new
+// component when all its links were idle. Path-less capped flows get a
+// singleton component of their own.
+func (n *Net) attach(f *Flow) {
+	var target *component
 	for _, l := range f.path {
-		l.active--
-		if l.active == 0 {
-			last := len(n.activeLinks) - 1
-			moved := n.activeLinks[last]
-			n.activeLinks[l.activeIdx] = moved
-			moved.activeIdx = l.activeIdx
-			n.activeLinks[last] = nil
-			n.activeLinks = n.activeLinks[:last]
-			l.activeIdx = -1
+		c := l.comp
+		if c == nil || c == target {
+			continue
+		}
+		if target == nil {
+			target = c
+			continue
+		}
+		target = n.merge(target, c)
+	}
+	if target == nil {
+		target = &component{}
+		n.addComp(target)
+	}
+	f.comp = target
+	target.flows = append(target.flows, f) // f.seq is the largest: order kept
+	for _, l := range f.path {
+		if l.comp == nil {
+			l.comp = target
+			l.compIdx = len(target.links)
+			target.links = append(target.links, l)
 		}
 	}
 }
 
-// markDirty requests a rate solve for the current virtual instant. In
-// reference mode the solve happens immediately; otherwise one zero-delay
-// event per instant performs it after all same-instant changes have been
-// applied, which is what collapses a 1,024-stream open storm into a
-// single progressive-filling pass.
-func (n *Net) markDirty() {
+// merge folds the smaller component into the larger, keeping the flow list
+// in admission order (a sorted merge on seq) so progressive filling
+// charges residuals in exactly the order a monolithic solve would.
+func (n *Net) merge(a, b *component) *component {
+	if len(a.flows) < len(b.flows) {
+		a, b = b, a
+	}
+	merged := make([]*Flow, 0, len(a.flows)+len(b.flows))
+	i, j := 0, 0
+	for i < len(a.flows) && j < len(b.flows) {
+		if a.flows[i].seq < b.flows[j].seq {
+			merged = append(merged, a.flows[i])
+			i++
+		} else {
+			merged = append(merged, b.flows[j])
+			j++
+		}
+	}
+	merged = append(merged, a.flows[i:]...)
+	merged = append(merged, b.flows[j:]...)
+	a.flows = merged
+	for _, f := range b.flows {
+		f.comp = a
+	}
+	for _, l := range b.links {
+		l.comp = a
+		l.compIdx = len(a.links)
+		a.links = append(a.links, l)
+	}
+	if b.dirty {
+		a.dirty = true
+	}
+	if b.rebuild {
+		a.rebuild = true
+	}
+	b.dead = true
+	b.flows, b.links = nil, nil
+	n.deadComps++
+	return a
+}
+
+// addComp registers a new live component, compacting the dead entries out
+// of the registry once they dominate it.
+func (n *Net) addComp(c *component) {
+	if n.deadComps > 32 && n.deadComps*2 >= len(n.comps) {
+		w := 0
+		for _, old := range n.comps {
+			if !old.dead {
+				n.comps[w] = old
+				w++
+			}
+		}
+		for i := w; i < len(n.comps); i++ {
+			n.comps[i] = nil
+		}
+		n.comps = n.comps[:w]
+		n.deadComps = 0
+	}
+	n.comps = append(n.comps, c)
+}
+
+// markDirty requests a rate solve for the component at the current virtual
+// instant. In reference mode the rates re-solve immediately (and
+// globally); in incremental mode the solve waits for the flush. Either
+// way, one zero-delay event per instant commits accounting — settles,
+// completion keys, the next completion event — after all same-instant
+// changes have been applied. Committing once per instant (against the
+// final rates) is what keeps the lazily accrued volume arithmetic, and
+// with it every completion time, bit-identical across modes: the eager
+// reference solves assign transient mid-instant rates, but no real time
+// passes under them, so they must not move accrual anchors.
+func (n *Net) markDirty(c *component) {
+	c.dirty = true
+	n.queueWork(c)
 	if n.reference {
-		n.Recompute()
-		return
+		n.assignRatesReference()
+	}
+}
+
+// queueWork puts a component on the pending-flush queue and arms the
+// coalesced zero-delay flush event.
+func (n *Net) queueWork(c *component) {
+	if !c.queued {
+		c.queued = true
+		n.work = append(n.work, c)
 	}
 	if n.dirtyEv != nil {
-		n.stats.Coalesced++
+		if !n.reference {
+			n.stats.Coalesced++
+		}
 		return
 	}
-	n.dirtyEv = n.eng.Schedule(0, func() {
-		n.dirtyEv = nil
-		n.advance() // same instant: dt == 0
-		n.assignRates()
+	n.dirtyEv = n.eng.Schedule(0, n.flushWork)
+}
+
+// flushWork is the coalesced per-instant flush: split components that lost
+// flows, re-solve every dirty component (incremental mode; reference mode
+// solved eagerly at each change), commit the accounting against the
+// instant's final rates, then reschedule the completion event.
+func (n *Net) flushWork() {
+	n.dirtyEv = nil
+	n.flushRebuilds()
+	if n.reference {
+		for _, c := range n.work {
+			c.queued = false
+			c.dirty = false
+		}
+		n.work = n.work[:0]
+		n.commitReference()
 		n.scheduleNext()
-	})
-}
-
-// advance applies the current rates over the elapsed interval, decrementing
-// each flow's remaining volume and accumulating link telemetry.
-func (n *Net) advance() {
-	now := n.eng.Now()
-	dt := now - n.lastUpdate
-	n.lastUpdate = now
-	if dt <= 0 {
 		return
 	}
-	for _, f := range n.active {
-		moved := f.rate * dt
-		if moved > f.remaining {
-			moved = f.remaining
+	n.stats.Solves++
+	solved := n.solvedScratch[:0]
+	for i := 0; i < len(n.work); i++ {
+		c := n.work[i]
+		c.queued = false
+		if c.dead || !c.dirty {
+			continue
 		}
-		f.remaining -= moved
-		for _, l := range f.path {
-			l.carried += moved
+		c.dirty = false
+		n.solveComponent(c)
+		solved = append(solved, c)
+	}
+	n.work = n.work[:0]
+	// Commit after every solve: within each component flows commit in
+	// admission order, so per-link carried accrual sums in the same order
+	// as the reference pass over the whole population.
+	for _, c := range solved {
+		for _, f := range c.flows {
+			n.commit(f)
+		}
+	}
+	for i := range solved {
+		solved[i] = nil
+	}
+	n.solvedScratch = solved[:0]
+	n.scheduleNext()
+}
+
+// commitReference is the reference solver's per-instant accounting pass:
+// every active flow whose allocation ended the instant at a new rate is
+// settled and re-keyed. O(active flows) by design — the naive baseline.
+func (n *Net) commitReference() {
+	for _, f := range n.activeFlows {
+		if !f.finished {
+			n.commit(f)
 		}
 	}
 }
 
-// Recompute advances transfer accounting at the old rates, re-runs max-min
-// progressive filling and reschedules the next completion event, absorbing
-// any pending coalesced solve. Call it after changing a link's capacity
-// model; flow arrival and completion recompute automatically.
+// commit finalises one flow's instant: if the rate the solver assigned
+// differs from the rate that was in force, the flow settles (charging the
+// elapsed interval at the old rate), adopts the new rate for the time
+// ahead, and recomputes its completion time. Flows whose allocation ended
+// an instant where it began — including those a transient mid-instant
+// reference solve wobbled — are untouched, anchors and keys intact.
+func (n *Net) commit(f *Flow) {
+	if f.rate == f.committed || f.finished {
+		return
+	}
+	n.settle(f)
+	f.committed = f.rate
+	due := math.Inf(1)
+	if f.rate > 1e-12 {
+		due = n.eng.Now() + f.remaining/f.rate
+	}
+	if due == f.due {
+		return
+	}
+	if n.reference {
+		f.due = due
+		return
+	}
+	n.dueChanged = append(n.dueChanged, dueChange{f, due})
+}
+
+// flushRebuilds recomputes connectivity for every queued component that
+// lost a flow, splitting it into its surviving components; children join
+// the work queue dirty. Appending while iterating is deliberate — children
+// never carry the rebuild flag, so the loop terminates.
+func (n *Net) flushRebuilds() {
+	for i := 0; i < len(n.work); i++ {
+		c := n.work[i]
+		if !c.dead && c.rebuild {
+			n.rebuildComponent(c)
+		}
+	}
+}
+
+// rebuildComponent splits a component after retirements: a union-find pass
+// over the surviving flows' links rediscovers connectivity, and each
+// resulting class becomes a fresh dirty component. Every child is dirty by
+// construction — a retired flow freed capacity on its links, and (by
+// connectivity of the original component) every surviving class contains
+// at least one such link.
+func (n *Net) rebuildComponent(c *component) {
+	c.rebuild = false
+	c.dirty = false
+	c.dead = true
+	n.deadComps++
+	n.dsuEpoch++
+	epoch := n.dsuEpoch
+	for _, f := range c.flows {
+		if f.finished {
+			continue
+		}
+		var root *Link
+		for _, l := range f.path {
+			if l.dsuEpoch != epoch {
+				l.dsuEpoch = epoch
+				l.dsuParent = l
+				l.child = nil
+			}
+			r := findRoot(l)
+			if root == nil {
+				root = r
+			} else if r != root {
+				r.dsuParent = root
+			}
+		}
+	}
+	for _, f := range c.flows {
+		if f.finished {
+			continue
+		}
+		var child *component
+		if len(f.path) > 0 {
+			root := findRoot(f.path[0])
+			if root.child == nil {
+				root.child = n.newDirtyChild()
+			}
+			child = root.child
+		} else {
+			child = n.newDirtyChild()
+		}
+		f.comp = child
+		child.flows = append(child.flows, f) // c.flows order = admission order
+		for _, l := range f.path {
+			if l.comp != child {
+				l.comp = child
+				l.compIdx = len(child.links)
+				child.links = append(child.links, l)
+			}
+		}
+	}
+	c.flows, c.links = nil, nil
+}
+
+// newDirtyChild allocates a rebuilt component, pre-queued and dirty.
+func (n *Net) newDirtyChild() *component {
+	child := &component{dirty: true, queued: true}
+	n.addComp(child)
+	n.work = append(n.work, child)
+	return child
+}
+
+// findRoot is union-find lookup with path halving.
+func findRoot(l *Link) *Link {
+	for l.dsuParent != l {
+		l.dsuParent = l.dsuParent.dsuParent
+		l = l.dsuParent
+	}
+	return l
+}
+
+// settle advances one flow's accrual anchor to the current instant,
+// charging its volume at the committed rate in force since the last settle
+// and accruing its links' carried telemetry. Settle points are committed
+// rate changes, completions and telemetry reads — all independent of the
+// solver mode, so the chunking of the floating-point accrual arithmetic
+// (and therefore remaining, carried and every derived completion time) is
+// bit-identical across modes.
+func (n *Net) settle(f *Flow) {
+	now := n.eng.Now()
+	if now == f.settledAt {
+		return
+	}
+	n.stats.FlowsSettled++
+	moved := f.committed * (now - f.settledAt)
+	f.settledAt = now
+	if moved <= 0 {
+		return
+	}
+	if moved > f.remaining {
+		moved = f.remaining
+	}
+	f.remaining -= moved
+	for _, l := range f.path {
+		l.carried += moved
+	}
+}
+
+// settleLink settles every in-flight flow crossing the link, bringing its
+// carried telemetry up to the current instant.
+func (n *Net) settleLink(link *Link) {
+	c := link.comp
+	if c == nil {
+		return
+	}
+	for _, f := range c.flows {
+		if f.finished {
+			continue
+		}
+		for _, l := range f.path {
+			if l == link {
+				n.settle(f)
+				break
+			}
+		}
+	}
+}
+
+// Recompute forces a full settle at the current instant: pending component
+// rebuilds are applied, every live component is re-solved (the whole
+// network, in reference mode), the accounting commits against the fresh
+// rates, and the next completion event is rescheduled, absorbing any
+// pending coalesced flush. Flow arrival, completion and capacity changes
+// recompute automatically; Recompute remains for callers that mutate
+// capacity-model state in place (e.g. OST health) or need fresh rates
+// mid-instant.
 func (n *Net) Recompute() {
 	if n.dirtyEv != nil {
 		n.eng.Cancel(n.dirtyEv)
 		n.dirtyEv = nil
 	}
-	n.advance()
-	n.assignRates()
+	n.flushRebuilds()
+	for _, c := range n.work {
+		c.queued = false
+		c.dirty = false
+	}
+	n.work = n.work[:0]
+	if n.reference {
+		n.assignRatesReference()
+		n.commitReference()
+	} else {
+		n.stats.Solves++
+		for _, c := range n.comps {
+			if c.dead {
+				continue
+			}
+			c.dirty = false
+			n.solveComponent(c)
+		}
+		for _, c := range n.comps {
+			if c.dead {
+				continue
+			}
+			for _, f := range c.flows {
+				n.commit(f)
+			}
+		}
+	}
 	n.scheduleNext()
 }
 
-// assignRates performs progressive filling:
+// solveComponent performs progressive filling over one component:
 //  1. every carrying link's residual capacity is its model capacity for the
 //     current stream count;
 //  2. repeatedly find the tightest constraint — either a link's fair share
@@ -524,20 +952,20 @@ func (n *Net) Recompute() {
 //     affected flows at that rate;
 //  3. continue until every flow's rate is fixed.
 //
-// Only the active-link set is scanned (idle links cannot constrain any
-// flow), and every round walks the explicit unfixed-flow list, which is
-// compacted — in admission order, so the residual arithmetic is identical
-// to a full rescan — as rates are pinned. Reference mode dispatches to
-// assignRatesReference, which shares none of these optimisations: it is
-// the oracle, so a defect in the unfixed-list bookkeeping cannot cancel
-// out of the inc-vs-ref property tests.
-func (n *Net) assignRates() {
-	if n.reference {
-		n.assignRatesReference()
-		return
-	}
-	links := n.activeLinks
-	n.stats.Solves++
+// Only the component's links and flows are touched: flows elsewhere keep
+// the rates (and completion keys) of their last solve, which is exact
+// because disjoint components cannot constrain each other. Rate-capped
+// flows are fixed in (cap, admission) order — see fixCapped — and every
+// round walks the explicit unfixed-flow list, compacted in admission
+// order, so the residual arithmetic is identical to the reference solver's
+// monolithic pass restricted to this component. Reference mode shares none
+// of this machinery (assignRatesReference): it is the oracle, so a defect
+// in the component or unfixed-list bookkeeping cannot cancel out of the
+// inc-vs-ref property tests.
+func (n *Net) solveComponent(c *component) {
+	n.solveEpoch++
+	links := c.links
+	n.stats.ComponentsSolved++
 	n.stats.LinkVisits += int64(len(links))
 	for _, l := range links {
 		l.residual = l.model.Capacity(l.active)
@@ -545,16 +973,16 @@ func (n *Net) assignRates() {
 		l.saturated = false
 	}
 	unfixed := n.unfixedScratch[:0]
-	for _, f := range n.active {
+	for _, f := range c.flows {
 		if f.finished {
 			continue
 		}
-		f.rate = -1
 		unfixed = append(unfixed, f)
 		for _, l := range f.path {
 			l.unfixed++
 		}
 	}
+	n.stats.ComponentFlowsScanned += int64(len(unfixed))
 	sat := n.satScratch[:0]
 	for len(unfixed) > 0 {
 		n.stats.Rounds++
@@ -574,16 +1002,8 @@ func (n *Net) assignRates() {
 			}
 		}
 		// Fix rate-capped flows whose cap is at or below the share.
-		cappedFixed := false
-		for _, f := range unfixed {
-			if f.maxRate <= 0 || f.maxRate > minShare {
-				continue
-			}
-			n.fix(f, f.maxRate)
-			cappedFixed = true
-		}
-		if cappedFixed {
-			unfixed = compactUnfixed(unfixed)
+		if n.fixCapped(unfixed, minShare) {
+			unfixed = n.compactUnfixed(unfixed)
 			continue
 		}
 		if math.IsInf(minShare, 1) {
@@ -636,22 +1056,63 @@ func (n *Net) assignRates() {
 		if !progressed {
 			panic("flow: progressive filling made no progress")
 		}
-		unfixed = compactUnfixed(unfixed)
+		unfixed = n.compactUnfixed(unfixed)
 	}
 	n.satScratch = sat[:0]
 	n.unfixedScratch = unfixed[:0]
 }
 
-// assignRatesReference is the naive progressive-filling pass, preserved
-// verbatim as the correctness oracle and cost baseline: every link is
-// scanned (idle ones included) and every round rescans the whole active
-// population instead of an unfixed-flow list. The rate-fixing order is
-// identical to the incremental path — active flows in admission order,
-// skipping already-fixed ones — so results are bit-identical while the
-// implementations stay independent.
+// fixCapped pins every unfixed flow whose rate cap is at or below the
+// round's fair share, in ascending (cap, admission) order. The ordering
+// matters for bit-exactness: fair shares are non-decreasing across rounds,
+// so fixing each round's capped batch in cap order makes the overall
+// capped sequence globally cap-sorted — invariant under how rounds
+// partition it, and therefore identical between a component-local solve
+// and the reference solver's monolithic rounds (whose share milestones
+// interleave other components'). Fixing in raw admission order would make
+// the residual subtraction order — and with it the last ulps of later
+// shares — depend on the round structure. It reports whether any flow was
+// fixed.
+func (n *Net) fixCapped(unfixed []*Flow, minShare float64) bool {
+	capped := n.cappedScratch[:0]
+	for _, f := range unfixed {
+		if f.maxRate > 0 && f.maxRate <= minShare {
+			capped = append(capped, f)
+		}
+	}
+	if len(capped) > 0 {
+		sort.Slice(capped, func(i, j int) bool {
+			if capped[i].maxRate != capped[j].maxRate {
+				return capped[i].maxRate < capped[j].maxRate
+			}
+			return capped[i].seq < capped[j].seq
+		})
+		for _, f := range capped {
+			n.fix(f, f.maxRate)
+		}
+	}
+	fixed := len(capped) > 0
+	for i := range capped {
+		capped[i] = nil
+	}
+	n.cappedScratch = capped[:0]
+	return fixed
+}
+
+// assignRatesReference is the naive progressive-filling pass, preserved as
+// the correctness oracle and cost baseline: every link in the network is
+// scanned (idle ones and other components' included) and every round
+// rescans the whole active population instead of an unfixed-flow list. The
+// rate-fixing order matches the partitioned path — capped flows in
+// (cap, admission) order, bottleneck flows in admission order — so results
+// are bit-identical while the implementations stay independent.
 func (n *Net) assignRatesReference() {
 	links := n.links
+	n.solveEpoch++
+	epoch := n.solveEpoch
 	n.stats.Solves++
+	n.stats.ComponentsSolved++
+	n.stats.ComponentFlowsScanned += int64(n.activeCount)
 	n.stats.LinkVisits += int64(len(links))
 	for _, l := range links {
 		l.residual = l.model.Capacity(l.active)
@@ -659,11 +1120,10 @@ func (n *Net) assignRatesReference() {
 		l.saturated = false
 	}
 	unfixedCount := 0
-	for _, f := range n.active {
+	for _, f := range n.activeFlows {
 		if f.finished {
 			continue
 		}
-		f.rate = -1
 		unfixedCount++
 		for _, l := range f.path {
 			l.unfixed++
@@ -672,7 +1132,7 @@ func (n *Net) assignRatesReference() {
 	sat := n.satScratch[:0]
 	for unfixedCount > 0 {
 		n.stats.Rounds++
-		n.stats.FlowsScanned += int64(len(n.active))
+		n.stats.FlowsScanned += int64(n.activeCount)
 		minShare := math.Inf(1)
 		n.stats.LinkVisits += int64(len(links))
 		for _, l := range links {
@@ -687,24 +1147,38 @@ func (n *Net) assignRatesReference() {
 				minShare = share
 			}
 		}
-		// Fix rate-capped flows whose cap is at or below the share.
-		cappedFixed := false
-		for _, f := range n.active {
-			if f.finished || f.rate >= 0 || f.maxRate <= 0 || f.maxRate > minShare {
+		// Fix rate-capped flows whose cap is at or below the share, in
+		// (cap, admission) order — see fixCapped for why the order matters.
+		capped := n.cappedScratch[:0]
+		for _, f := range n.activeFlows {
+			if f.finished || f.fixedEpoch == epoch || f.maxRate <= 0 || f.maxRate > minShare {
 				continue
 			}
-			n.fix(f, f.maxRate)
-			unfixedCount--
-			cappedFixed = true
+			capped = append(capped, f)
 		}
-		if cappedFixed {
+		if len(capped) > 0 {
+			sort.Slice(capped, func(i, j int) bool {
+				if capped[i].maxRate != capped[j].maxRate {
+					return capped[i].maxRate < capped[j].maxRate
+				}
+				return capped[i].seq < capped[j].seq
+			})
+			for _, f := range capped {
+				n.fix(f, f.maxRate)
+				unfixedCount--
+			}
+			for i := range capped {
+				capped[i] = nil
+			}
+			n.cappedScratch = capped[:0]
 			continue
 		}
+		n.cappedScratch = capped[:0]
 		if math.IsInf(minShare, 1) {
 			// Only path-less capped flows remain; their caps exceeded every
 			// share constraint — fix them at their cap.
-			for _, f := range n.active {
-				if f.finished || f.rate >= 0 {
+			for _, f := range n.activeFlows {
+				if f.finished || f.fixedEpoch == epoch {
 					continue
 				}
 				r := f.maxRate
@@ -733,8 +1207,8 @@ func (n *Net) assignRatesReference() {
 			}
 		}
 		progressed := false
-		for _, f := range n.active {
-			if f.finished || f.rate >= 0 {
+		for _, f := range n.activeFlows {
+			if f.finished || f.fixedEpoch == epoch {
 				continue
 			}
 			onBottleneck := false
@@ -764,10 +1238,10 @@ func (n *Net) assignRatesReference() {
 // compactUnfixed drops just-fixed flows from the unfixed list in place,
 // preserving admission order (which determines the order residuals are
 // charged, and therefore bit-exactness against a full rescan).
-func compactUnfixed(fs []*Flow) []*Flow {
+func (n *Net) compactUnfixed(fs []*Flow) []*Flow {
 	w := 0
 	for _, f := range fs {
-		if f.rate < 0 {
+		if f.fixedEpoch != n.solveEpoch {
 			fs[w] = f
 			w++
 		}
@@ -778,59 +1252,51 @@ func compactUnfixed(fs []*Flow) []*Flow {
 	return fs[:w]
 }
 
-// fix pins a flow's rate, charges it against its path's residuals, and
-// stages the flow's completion-heap re-key when its finish time moved.
-// Every solve re-fixes every active flow, so after a solve each key holds
-// the freshly computed now + remaining/rate — never a stale value from an
-// earlier instant, which is what keeps the heap's minimum bit-identical
-// to the reference solver's linear scan.
+// fix pins a flow's rate for the current solve and charges it against its
+// path's residuals. Accounting is untouched here: the per-instant commit
+// settles the flow and re-keys its completion only if the rate it ends the
+// instant with differs from the one in force, so flows whose allocation is
+// unmoved — untouched components, or transient mid-instant wobbles — keep
+// their anchors and heap keys bit-for-bit.
 func (n *Net) fix(f *Flow, rate float64) {
-	f.rate = rate
+	f.fixedEpoch = n.solveEpoch
 	for _, l := range f.path {
 		l.residual -= rate
 		l.unfixed--
 	}
-	if !n.reference {
-		due := math.Inf(1)
-		if rate > 1e-12 {
-			due = n.eng.Now() + f.remaining/rate
-		}
-		if due != f.due {
-			n.dueChanged = append(n.dueChanged, dueChange{f, due})
-		}
-	}
+	f.rate = rate
 }
 
 // scheduleNext arranges the next completion event at the earliest time any
 // active flow drains. Stalled flows (rate ~ 0) never complete on their own;
 // if every flow stalls the engine's deadlock detector reports the hang.
 //
-// Incremental mode applies the solve's staged re-keys to the completion
+// Incremental mode applies the flush's staged re-keys to the completion
 // heap (one heap.Fix per moved flow, or a single rebuild when at least
 // half the keys moved) and peeks the root; the engine event is moved in
-// place via Reschedule. min over (now + dt_i) equals now + min over dt_i
-// — addition of a constant is monotone, so the event time is bit-identical
-// to the reference scan's Schedule(minDt). Reference mode keeps the naive
-// linear scan with cancel-and-repost.
+// place via Reschedule. Completion times are absolute anchors
+// (settle time + remaining/rate), identical in both modes, so the event
+// time is bit-identical to the reference scan. Reference mode keeps the
+// naive linear scan with cancel-and-repost.
 func (n *Net) scheduleNext() {
 	if n.reference {
 		if n.nextEv != nil {
 			n.eng.Cancel(n.nextEv)
 			n.nextEv = nil
 		}
-		minDt := math.Inf(1)
-		for _, f := range n.active {
-			if f.finished || f.rate <= 1e-12 {
+		at := math.Inf(1)
+		for _, f := range n.activeFlows {
+			if f.finished {
 				continue
 			}
-			if dt := f.remaining / f.rate; dt < minDt {
-				minDt = dt
+			if f.due < at {
+				at = f.due
 			}
 		}
-		if math.IsInf(minDt, 1) {
+		if math.IsInf(at, 1) {
 			return
 		}
-		n.nextEv = n.eng.Schedule(minDt, n.onCompletion)
+		n.nextEv = n.eng.ScheduleAt(at, n.onCompletion)
 		return
 	}
 	if k := len(n.dueChanged); k > 0 {
@@ -859,7 +1325,7 @@ func (n *Net) scheduleNext() {
 		}
 		return
 	}
-	// Re-sequence every solve, exactly as cancel-and-repost would: the
+	// Re-sequence every flush, exactly as cancel-and-repost would: the
 	// completion event's order among same-instant events must not depend
 	// on the solver mode, or downstream admission order — and with it the
 	// residual arithmetic — could diverge.
@@ -869,27 +1335,49 @@ func (n *Net) scheduleNext() {
 	}
 }
 
-// onCompletion retires every flow that has drained (batching simultaneous
-// completions), fires their Done signals, and requests a recompute for the
-// survivors — coalesced with any same-instant arrivals the completions
-// trigger.
+// onCompletion retires every flow whose completion time has arrived
+// (batching simultaneous completions, in admission order), fires their
+// Done signals, and requests a recompute for the touched components —
+// coalesced with any same-instant arrivals the completions trigger.
 func (n *Net) onCompletion() {
 	n.nextEv = nil
-	n.advance()
-	var still []*Flow
+	now := n.eng.Now()
 	var done []*Flow
-	for _, f := range n.active {
-		if f.remaining <= epsilonMB*math.Max(1, f.size) {
-			f.remaining = 0
-			f.finished = true
-			f.finishAt = n.eng.Now()
-			n.retire(f)
+	if n.reference {
+		for _, f := range n.activeFlows {
+			if !f.finished && f.due <= now {
+				done = append(done, f)
+			}
+		}
+	} else {
+		// Equal dues pop in admission (seq) order — the same order the
+		// reference scan collects them in.
+		for len(n.completions) > 0 && n.completions[0].due <= now {
+			f := heap.Pop(&n.completions).(*Flow)
+			n.stats.HeapOps++
 			done = append(done, f)
-		} else {
-			still = append(still, f)
 		}
 	}
-	n.active = still
+	if len(done) == 0 {
+		n.scheduleNext()
+		return
+	}
+	for _, f := range done {
+		// Final settle: the flow carries exactly its residual volume, so
+		// cumulative link telemetry sums to the exact flow sizes.
+		n.stats.FlowsSettled++
+		if f.remaining > 0 {
+			for _, l := range f.path {
+				l.carried += f.remaining
+			}
+			f.remaining = 0
+		}
+		f.settledAt = now
+		f.finished = true
+		f.finishAt = now
+		n.retire(f)
+	}
+	n.compactActive()
 	for _, f := range done {
 		if f.onDone != nil {
 			f.onDone()
@@ -903,53 +1391,204 @@ func (n *Net) onCompletion() {
 	for _, f := range done {
 		f.Done.Fire()
 	}
-	n.markDirty()
+	// retire queued each touched component for rebuild, which armed the
+	// coalesced flush event; reference mode additionally re-solves the
+	// survivors' rates eagerly, as it does for every change.
+	if n.reference {
+		n.assignRatesReference()
+	}
 }
 
-// CheckInvariants verifies the current rate allocation: every active flow
-// has a non-negative fixed rate no greater than its cap, no link carries
-// more than its capacity (within tolerance), and the active-link set
-// matches the links the active flows actually cross. Any pending coalesced
-// solve is flushed first so the settled allocation is checked. It returns
-// nil when consistent; tests call it after topology changes.
+// retire removes a drained flow from its links, the completion heap and
+// the active set, and marks its component for a lazy connectivity rebuild.
+func (n *Net) retire(f *Flow) {
+	if f.heapIdx >= 0 {
+		heap.Remove(&n.completions, f.heapIdx)
+		n.stats.HeapOps++
+	}
+	for _, l := range f.path {
+		l.active--
+		if l.active == 0 {
+			n.activeLinkCount--
+			n.detachLink(l)
+		}
+	}
+	if c := f.comp; c != nil {
+		f.comp = nil
+		c.rebuild = true
+		n.queueWork(c)
+	}
+	n.activeCount--
+	n.finishedInActive++
+}
+
+// detachLink removes an idle link from its component (order-insensitive
+// swap remove; link order never affects the solve numerically).
+func (n *Net) detachLink(l *Link) {
+	c := l.comp
+	if c == nil {
+		return
+	}
+	last := len(c.links) - 1
+	moved := c.links[last]
+	c.links[l.compIdx] = moved
+	moved.compIdx = l.compIdx
+	c.links[last] = nil
+	c.links = c.links[:last]
+	l.comp = nil
+	l.compIdx = -1
+}
+
+// compactActive drops completed-flow tombstones from the admission-ordered
+// active list once they are half of it, keeping retirement amortised O(1).
+func (n *Net) compactActive() {
+	if n.finishedInActive < 16 || n.finishedInActive*2 < len(n.activeFlows) {
+		return
+	}
+	w := 0
+	for _, f := range n.activeFlows {
+		if !f.finished {
+			n.activeFlows[w] = f
+			w++
+		}
+	}
+	for i := w; i < len(n.activeFlows); i++ {
+		n.activeFlows[i] = nil
+	}
+	n.activeFlows = n.activeFlows[:w]
+	n.finishedInActive = 0
+}
+
+// CheckInvariants verifies the current rate allocation and solver state:
+// every active flow has a non-negative fixed rate no greater than its cap,
+// no link carries more than its capacity (within tolerance), the component
+// partition matches the links the active flows actually cross, accrual
+// anchors are consistent, and (in incremental mode) the completion heap is
+// coherent. Any pending coalesced work is flushed first so the settled
+// allocation is checked. It returns nil when consistent; tests call it
+// after topology changes.
 func (n *Net) CheckInvariants() error {
-	if n.dirtyEv != nil {
+	if n.dirtyEv != nil || len(n.work) > 0 {
 		n.Recompute()
 	}
+	now := n.eng.Now()
 	loads := make(map[*Link]float64)
-	for _, f := range n.active {
+	live := 0
+	for _, f := range n.activeFlows {
 		if f.finished {
 			continue
 		}
-		if f.rate < 0 {
-			return fmt.Errorf("flow: %q has unassigned rate", f.name)
+		live++
+		if f.fixedEpoch == 0 {
+			// fix stamps the solve epoch (always >= 1) on every flow it
+			// pins; an unstamped active flow means a dirty-flag bug skipped
+			// its component's solve entirely.
+			return fmt.Errorf("flow: %q was never solved", f.name)
+		}
+		if f.rate != f.committed {
+			return fmt.Errorf("flow: %q rate %v not committed (accrual rate %v) after flush",
+				f.name, f.rate, f.committed)
 		}
 		if f.maxRate > 0 && f.rate > f.maxRate*(1+1e-9) {
 			return fmt.Errorf("flow: %q rate %v exceeds cap %v", f.name, f.rate, f.maxRate)
 		}
+		if f.settledAt > now || f.remaining < 0 {
+			return fmt.Errorf("flow: %q accrual anchor inconsistent (settledAt %v, now %v, remaining %v)",
+				f.name, f.settledAt, now, f.remaining)
+		}
+		if c := f.comp; c == nil || c.dead {
+			return fmt.Errorf("flow: %q has no live component", f.name)
+		}
 		for _, l := range f.path {
 			loads[l] += f.rate
+			if l.comp != f.comp {
+				return fmt.Errorf("flow: %q crosses link %q outside its component", f.name, l.name)
+			}
 		}
 	}
+	if live != n.activeCount {
+		return fmt.Errorf("flow: active count %d but %d live flows listed", n.activeCount, live)
+	}
+	activeLinks := 0
 	for _, l := range n.links {
 		cap := l.model.Capacity(l.active)
 		if load := loads[l]; load > cap*(1+1e-6)+1e-9 {
 			return fmt.Errorf("flow: link %q oversubscribed: %v > %v", l.name, load, cap)
 		}
-		inSet := l.activeIdx >= 0 && l.activeIdx < len(n.activeLinks) && n.activeLinks[l.activeIdx] == l
-		if (l.active > 0) != inSet {
-			return fmt.Errorf("flow: link %q active=%d but activeIdx=%d (set membership %v)",
-				l.name, l.active, l.activeIdx, inSet)
+		inComp := l.comp != nil && !l.comp.dead &&
+			l.compIdx >= 0 && l.compIdx < len(l.comp.links) && l.comp.links[l.compIdx] == l
+		if (l.active > 0) != inComp {
+			return fmt.Errorf("flow: link %q active=%d but component membership %v", l.name, l.active, inComp)
 		}
+		if l.active > 0 {
+			activeLinks++
+		}
+	}
+	if activeLinks != n.activeLinkCount {
+		return fmt.Errorf("flow: active-link count %d, counted %d", n.activeLinkCount, activeLinks)
+	}
+	if err := n.checkComponents(); err != nil {
+		return err
 	}
 	return n.checkHeap()
 }
 
+// checkComponents verifies the component partition: live components hold
+// exactly the live flows (each once, in admission order), their links
+// point back at them, and no settled component is left dirty or pending
+// rebuild.
+func (n *Net) checkComponents() error {
+	seen := 0
+	dead := 0
+	for _, c := range n.comps {
+		if c.dead {
+			dead++
+			continue
+		}
+		if c.dirty || c.rebuild || c.queued {
+			return fmt.Errorf("flow: component with %d flows still dirty/rebuild/queued after flush", len(c.flows))
+		}
+		if len(c.flows) == 0 {
+			return fmt.Errorf("flow: empty live component")
+		}
+		var prev int64 = -1
+		for _, f := range c.flows {
+			if f.finished {
+				return fmt.Errorf("flow: finished flow %q lingers in a settled component", f.name)
+			}
+			if f.comp != c {
+				return fmt.Errorf("flow: %q listed in a component it does not claim", f.name)
+			}
+			if f.seq <= prev {
+				return fmt.Errorf("flow: component flows out of admission order at %q", f.name)
+			}
+			prev = f.seq
+			seen++
+		}
+		for _, l := range c.links {
+			if l.comp != c {
+				return fmt.Errorf("flow: link %q listed in a component it does not claim", l.name)
+			}
+			if l.active == 0 {
+				return fmt.Errorf("flow: idle link %q lingers in a component", l.name)
+			}
+		}
+	}
+	if dead != n.deadComps {
+		return fmt.Errorf("flow: dead-component count %d, counted %d", n.deadComps, dead)
+	}
+	if seen != n.activeCount {
+		return fmt.Errorf("flow: components hold %d flows for %d active", seen, n.activeCount)
+	}
+	return nil
+}
+
 // checkHeap verifies the completion heap in incremental mode: it holds
 // exactly the active flows, every entry knows its own index, the heap
-// property holds under (due, seq), and each key matches the flow's
-// settled rate — lastUpdate + remaining/rate as computed by the most
-// recent solve, or +Inf when stalled.
+// property holds under (due, seq), and each key is consistent with the
+// flow's accrual anchor — settledAt + remaining/rate within floating-point
+// tolerance (telemetry settles may re-anchor a flow without re-keying it,
+// shifting the reconstruction by ulps), or +Inf when stalled.
 func (n *Net) checkHeap() error {
 	if n.reference {
 		if len(n.completions) != 0 {
@@ -957,9 +1596,9 @@ func (n *Net) checkHeap() error {
 		}
 		return nil
 	}
-	if len(n.completions) != len(n.active) {
+	if len(n.completions) != n.activeCount {
 		return fmt.Errorf("flow: completion heap has %d entries for %d active flows",
-			len(n.completions), len(n.active))
+			len(n.completions), n.activeCount)
 	}
 	for i, f := range n.completions {
 		if f.heapIdx != i {
@@ -973,12 +1612,13 @@ func (n *Net) checkHeap() error {
 			}
 		}
 		want := math.Inf(1)
-		if f.rate > 1e-12 {
-			want = n.lastUpdate + f.remaining/f.rate
+		if f.committed > 1e-12 {
+			want = f.settledAt + f.remaining/f.committed
 		}
-		if f.due != want {
-			return fmt.Errorf("flow: %q completion key %v, want %v (rate %v, remaining %v)",
-				f.name, f.due, want, f.rate, f.remaining)
+		if math.IsInf(want, 1) != math.IsInf(f.due, 1) ||
+			(!math.IsInf(want, 1) && math.Abs(f.due-want) > 1e-6*(1+math.Abs(want))) {
+			return fmt.Errorf("flow: %q completion key %v, want ~%v (rate %v, remaining %v, settledAt %v)",
+				f.name, f.due, want, f.committed, f.remaining, f.settledAt)
 		}
 	}
 	return nil

@@ -13,10 +13,11 @@ import (
 type opKind int
 
 const (
-	opStart opKind = iota // start one flow
-	opBatch               // admit several flows via StartBatch
-	opCap                 // change a link's capacity model
-	opChain               // start a flow at the instant an earlier op's first flow completes
+	opStart   opKind = iota // start one flow
+	opBatch                 // admit several flows via StartBatch
+	opCap                   // change a link's capacity model (with an explicit Recompute)
+	opCapLazy               // change a link's capacity model, letting the coalesced solve apply it
+	opChain                 // start a flow at the instant an earlier op's first flow completes
 )
 
 // specTmpl describes one flow over link indices, resolved per net at
@@ -83,9 +84,13 @@ func randomSchedule(rng *rand.Rand, nLinks int) []solverOp {
 		}
 		switch r := rng.Intn(10); {
 		case r == 0 && i > 0:
+			kind := opCap
+			if rng.Intn(2) == 0 {
+				kind = opCapLazy
+			}
 			ops = append(ops, solverOp{
 				at:   at,
-				kind: opCap,
+				kind: kind,
 				link: rng.Intn(nLinks),
 				mbs:  5 + rng.Float64()*400,
 			})
@@ -175,6 +180,11 @@ func replay(t *testing.T, ops []solverOp, caps []float64, reference, invariants 
 				n.Recompute()
 				check(fmt.Sprintf("capacity change at t=%v", op.at))
 			})
+		case opCapLazy:
+			e.Schedule(op.at, func() {
+				// No Recompute: the coalesced zero-delay solve applies it.
+				links[op.link].SetModel(Const(op.mbs))
+			})
 		case opStart:
 			e.Schedule(op.at, func() {
 				sp := resolve(op.specs[0])
@@ -237,8 +247,15 @@ func TestIncrementalMatchesReferenceProperty(t *testing.T) {
 					}
 				}
 			}
+			// Invariants are checked inside every op event in BOTH modes:
+			// CheckInvariants flushes pending solver work, and with lazy
+			// accrual a flush is itself a settle point, so the two replays
+			// must perform the same call sequence to stay bit-identical —
+			// exactly as any real caller does, since the same program runs
+			// unmodified under either solver. As a bonus the reference run
+			// now exercises the component-partition invariants too.
 			incFlows, incLinks, inc := replay(t, ops, caps, false, true)
-			refFlows, refLinks, _ := replay(t, ops, caps, true, false)
+			refFlows, refLinks, _ := replay(t, ops, caps, true, true)
 			if err := inc.CheckInvariants(); err != nil {
 				t.Fatal(err)
 			}
@@ -517,5 +534,156 @@ func TestZeroDurationFlowsAtCompletionInstant(t *testing.T) {
 		if !long.Finished() {
 			t.Fatal("long flow did not drain")
 		}
+	}
+}
+
+// groupedSpec draws a flow whose path stays inside one link group, or —
+// with probability 1/bridgeOdds — bridges two groups, merging their
+// components; when the bridge later drains, the merged component must
+// split again. Groups are contiguous index ranges of size groupLinks.
+func groupedSpec(rng *rand.Rand, groups, groupLinks, bridgeOdds int, name string) specTmpl {
+	pick := func(g, n int) []int {
+		if n > groupLinks {
+			n = groupLinks
+		}
+		seen := map[int]bool{}
+		var path []int
+		for len(path) < n {
+			k := g*groupLinks + rng.Intn(groupLinks)
+			if !seen[k] {
+				seen[k] = true
+				path = append(path, k)
+			}
+		}
+		return path
+	}
+	g := rng.Intn(groups)
+	var path []int
+	if rng.Intn(bridgeOdds) == 0 && groups > 1 {
+		g2 := (g + 1 + rng.Intn(groups-1)) % groups
+		path = append(pick(g, 1+rng.Intn(2)), pick(g2, 1)...)
+	} else {
+		path = pick(g, 1+rng.Intn(3))
+	}
+	size := 1 + rng.Float64()*2000
+	if rng.Intn(10) == 0 {
+		size = 0
+	}
+	cap := 0.0
+	if rng.Intn(3) == 0 {
+		cap = 1 + rng.Float64()*100
+	}
+	return specTmpl{path: path, size: size, maxRate: cap, name: name}
+}
+
+// randomGroupedSchedule is randomSchedule over a grouped topology: mostly
+// intra-group traffic (disjoint components), with occasional bridges that
+// merge components on admission and split them again on completion, plus
+// lazy and eager capacity changes.
+func randomGroupedSchedule(rng *rand.Rand, groups, groupLinks int) []solverOp {
+	var ops []solverOp
+	var starters []int
+	at := 0.0
+	nLinks := groups * groupLinks
+	nOps := 10 + rng.Intn(50)
+	for i := 0; i < nOps; i++ {
+		if rng.Intn(3) > 0 {
+			at += rng.Float64() * 3
+		}
+		switch r := rng.Intn(10); {
+		case r == 0 && i > 0:
+			kind := opCapLazy
+			if rng.Intn(3) == 0 {
+				kind = opCap
+			}
+			ops = append(ops, solverOp{at: at, kind: kind, link: rng.Intn(nLinks), mbs: 5 + rng.Float64()*400})
+		case r == 1 && len(starters) > 0:
+			ops = append(ops, solverOp{
+				at:     at,
+				kind:   opChain,
+				specs:  []specTmpl{groupedSpec(rng, groups, groupLinks, 4, fmt.Sprintf("c%d", i))},
+				target: starters[rng.Intn(len(starters))],
+			})
+		case r <= 4:
+			width := 2 + rng.Intn(16)
+			specs := make([]specTmpl, width)
+			for j := range specs {
+				specs[j] = groupedSpec(rng, groups, groupLinks, 8, fmt.Sprintf("b%d_%d", i, j))
+			}
+			starters = append(starters, len(ops))
+			ops = append(ops, solverOp{at: at, kind: opBatch, specs: specs})
+		default:
+			starters = append(starters, len(ops))
+			ops = append(ops, solverOp{
+				at:    at,
+				kind:  opStart,
+				specs: []specTmpl{groupedSpec(rng, groups, groupLinks, 6, fmt.Sprintf("f%d", i))},
+			})
+		}
+	}
+	return ops
+}
+
+// TestMultiComponentMatchesReferenceProperty drives randomized
+// multi-component schedules — disjoint link groups, flows migrating a
+// component merge via shared-link (bridge) admission, component splits
+// when bridges retire, and lazy SetModel changes — through the partitioned
+// solver and the monolithic reference solver. Trajectories and carried
+// volumes must match bit for bit, with the component-partition invariants
+// checked inside every event in both modes.
+func TestMultiComponentMatchesReferenceProperty(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			groups := 2 + rng.Intn(5)
+			groupLinks := 2 + rng.Intn(4)
+			caps := make([]float64, groups*groupLinks)
+			for i := range caps {
+				caps[i] = 10 + rng.Float64()*500
+			}
+			ops := randomGroupedSchedule(rng, groups, groupLinks)
+			incFlows, incLinks, inc := replay(t, ops, caps, false, true)
+			refFlows, refLinks, _ := replay(t, ops, caps, true, true)
+			if err := inc.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if inc.ActiveFlows() != 0 || inc.Components() != 0 {
+				t.Fatalf("incremental net not drained: %d flows, %d components",
+					inc.ActiveFlows(), inc.Components())
+			}
+			if len(incFlows) != len(refFlows) {
+				t.Fatalf("flow counts diverged: %d vs %d", len(incFlows), len(refFlows))
+			}
+			for i := range incFlows {
+				fi, fr := incFlows[i], refFlows[i]
+				if math.Float64bits(fi.Started()) != math.Float64bits(fr.Started()) {
+					t.Errorf("flow %s: start %v vs reference %v (not bit-identical)",
+						fi.Name(), fi.Started(), fr.Started())
+				}
+				if math.Float64bits(fi.FinishedAt()) != math.Float64bits(fr.FinishedAt()) {
+					t.Errorf("flow %s: finish %v vs reference %v (not bit-identical)",
+						fi.Name(), fi.FinishedAt(), fr.FinishedAt())
+				}
+			}
+			for i := range incLinks {
+				if math.Float64bits(incLinks[i].Carried()) != math.Float64bits(refLinks[i].Carried()) {
+					t.Errorf("link %s: carried %v vs reference %v",
+						incLinks[i].Name(), incLinks[i].Carried(), refLinks[i].Carried())
+				}
+			}
+			// The partitioned solver must actually have partitioned: with
+			// mostly intra-group traffic, the average population per
+			// component solve stays below the whole-network population the
+			// reference pays.
+			ist := inc.Stats()
+			if ist.ComponentsSolved > 0 && len(incFlows) >= 16 {
+				perSolve := float64(ist.ComponentFlowsScanned) / float64(ist.ComponentsSolved)
+				if perSolve >= float64(len(incFlows)) {
+					t.Errorf("component solves scan %.1f flows on average over %d total — no partitioning happened",
+						perSolve, len(incFlows))
+				}
+			}
+		})
 	}
 }

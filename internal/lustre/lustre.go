@@ -17,7 +17,10 @@ import (
 
 // System is one simulated Lustre installation bound to an engine. Build a
 // fresh System per experiment repetition: per-OST jitter is drawn at build
-// time, which gives realistic run-to-run variance.
+// time, which gives realistic run-to-run variance. Several Systems can
+// share one engine and one fluid network (NewSharedSystem) — independent
+// file systems under one simulation, each its own link-connectivity
+// component of the shared solver.
 type System struct {
 	plat *cluster.Platform
 	eng  *sim.Engine
@@ -30,40 +33,53 @@ type System struct {
 
 	mds     *MDS
 	rng     *stats.RNG
+	prefix  string
 	fileSeq int
 }
 
-// NewSystem builds the simulated file system and network topology for plat.
-// The rng drives OST allocation and service jitter; fork it per repetition.
+// NewSystem builds the simulated file system and network topology for plat
+// on a private fluid network. The rng drives OST allocation and service
+// jitter; fork it per repetition.
 func NewSystem(eng *sim.Engine, plat *cluster.Platform, rng *stats.RNG) (*System, error) {
+	return NewSharedSystem(eng, flow.NewNet(eng), plat, rng, "")
+}
+
+// NewSharedSystem builds a file system on an existing fluid network, so
+// several independent installations ("shards") run under one engine and
+// one solver. Their link sets are disjoint — traffic on one shard never
+// shares a link with another — so the partitioned solver keeps each shard
+// its own component and a change in one never scans the others. The
+// prefix namespaces link and resource labels (e.g. "fs0/backbone").
+func NewSharedSystem(eng *sim.Engine, net *flow.Net, plat *cluster.Platform, rng *stats.RNG, prefix string) (*System, error) {
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
 	s := &System{
-		plat: plat,
-		eng:  eng,
-		net:  flow.NewNet(eng),
-		rng:  rng,
+		plat:   plat,
+		eng:    eng,
+		net:    net,
+		rng:    rng,
+		prefix: prefix,
 	}
-	s.backbone = s.net.NewLink("backbone", flow.Const(plat.BackboneMBs))
+	s.backbone = net.NewLink(prefix+"backbone", flow.Const(plat.BackboneMBs))
 	s.nics = make([]*flow.Link, plat.Nodes)
 	for i := range s.nics {
-		s.nics[i] = s.net.NewLink(fmt.Sprintf("nic%d", i), flow.Const(plat.NICMBs))
+		s.nics[i] = net.NewLink(fmt.Sprintf("%snic%d", prefix, i), flow.Const(plat.NICMBs))
 	}
 	s.osss = make([]*flow.Link, plat.OSSs)
 	for i := range s.osss {
-		s.osss[i] = s.net.NewLink(fmt.Sprintf("oss%d", i), flow.Const(plat.OSSMBs))
+		s.osss[i] = net.NewLink(fmt.Sprintf("%soss%d", prefix, i), flow.Const(plat.OSSMBs))
 	}
 	s.osts = make([]*OST, plat.OSTs)
 	for i := range s.osts {
 		m := &ostModel{plat: plat, jitter: rng.Jitter(plat.JitterCV), health: 1}
 		ost := &OST{id: i, oss: plat.OSSOf(i), model: m, sys: s}
-		ost.link = s.net.NewLink(fmt.Sprintf("ost%d", i), m)
+		ost.link = net.NewLink(fmt.Sprintf("%sost%d", prefix, i), m)
 		s.osts[i] = ost
 	}
 	s.mds = &MDS{
 		sys: s,
-		res: eng.NewResource("mds", 1),
+		res: eng.NewResource(prefix+"mds", 1),
 	}
 	return s, nil
 }
@@ -152,13 +168,15 @@ func (o *OST) ActiveStreams() int { return o.model.totalStreams }
 // 0.1 = badly degraded, 0 = failed). Degradation injection models ailing
 // storage targets — RAID rebuilds, dying disks — whose effect on striped
 // jobs the contention metrics otherwise miss. The change applies to
-// in-flight transfers immediately.
+// in-flight transfers at the current instant: only the OST link's solver
+// component is re-solved, so health churn on one file system never scans
+// another's traffic.
 func (o *OST) SetHealth(factor float64) {
 	if factor < 0 {
 		factor = 0
 	}
 	o.model.health = factor
-	o.sys.net.Recompute()
+	o.link.SetModel(o.model)
 }
 
 // Health returns the current health factor.

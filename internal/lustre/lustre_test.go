@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"pfsim/internal/cluster"
+	"pfsim/internal/flow"
 	"pfsim/internal/sim"
 	"pfsim/internal/stats"
 )
@@ -572,5 +573,70 @@ func TestStartWritesBatchMatchesSequential(t *testing.T) {
 		if math.Float64bits(seq[i]) != math.Float64bits(bat[i]) {
 			t.Errorf("flow %d: sequential %v vs batch %v", i, seq[i], bat[i])
 		}
+	}
+}
+
+func TestSharedSystemsOnOneNet(t *testing.T) {
+	// Two independent file systems on one engine and one fluid network:
+	// disjoint link sets, prefixed names, each its own solver component.
+	plat := testPlat()
+	eng := sim.NewEngine()
+	net := flow.NewNet(eng)
+	sysA, err := NewSharedSystem(eng, net, plat, stats.NewRNG(1), "fs0/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := NewSharedSystem(eng, net, plat, stats.NewRNG(2), "fs1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sysA.Net() != net || sysB.Net() != net {
+		t.Fatal("shared systems must expose the shared net")
+	}
+	if got := sysA.Backbone().Name(); got != "fs0/backbone" {
+		t.Errorf("backbone name %q, want fs0/backbone", got)
+	}
+	if got := sysB.OST(0).Link().Name(); got != "fs1/ost0" {
+		t.Errorf("ost link name %q, want fs1/ost0", got)
+	}
+	fa := sysA.StartWrite("a", 1000, sysA.OST(0), WriteOpts{Node: 0, Class: cluster.ClassSequential, FileID: 1, RPCMB: 1})
+	fb := sysB.StartWrite("b", 1000, sysB.OST(0), WriteOpts{Node: 0, Class: cluster.ClassSequential, FileID: 1, RPCMB: 1})
+	net.Recompute()
+	if got := net.Components(); got != 2 {
+		t.Errorf("%d solver components, want 2 (one per file system)", got)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fa.Finished() || !fb.Finished() {
+		t.Fatal("shared-net writes did not drain")
+	}
+	// Identical platforms, zero jitter, same write: identical finish times,
+	// and neither shard's traffic shows up on the other's links.
+	if fa.FinishedAt() != fb.FinishedAt() {
+		t.Errorf("isolated shards diverged: %v vs %v", fa.FinishedAt(), fb.FinishedAt())
+	}
+	if c := sysB.Backbone().Carried(); c != 1000 {
+		t.Errorf("fs1 backbone carried %v, want 1000", c)
+	}
+}
+
+func TestNewSystemIsPrivateNet(t *testing.T) {
+	plat := testPlat()
+	e1 := sim.NewEngine()
+	s1, err := NewSystem(e1, plat, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := sim.NewEngine()
+	s2, err := NewSystem(e2, plat, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Net() == s2.Net() {
+		t.Fatal("independent systems share a net")
+	}
+	if got := s1.Backbone().Name(); got != "backbone" {
+		t.Errorf("unprefixed backbone name %q", got)
 	}
 }

@@ -412,21 +412,43 @@ func RunScenario(plat *cluster.Platform, s Scenario, seed uint64, instrument ...
 		fn(sys)
 	}
 	res := &Result{Scenario: s, Jobs: make([]JobResult, len(cfgs))}
-	running := make([]*ior.RunningJob, len(cfgs))
-	var launchErr error
+	launch := launchScenario(sys, s, cfgs, res)
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("workload: %s failed: %w", s.title(), err)
+	}
+	if err := launch.finish(res); err != nil {
+		return nil, err
+	}
+	res.Solver = sys.Net().Stats()
+	return res, nil
+}
+
+// launchState tracks one scenario's in-flight jobs between launch and the
+// end of the engine run.
+type launchState struct {
+	running []*ior.RunningJob
+	err     error
+}
+
+// launchScenario schedules every job of the materialised scenario on sys:
+// jobs with a StartAt launch via a timer, the rest immediately. A launch
+// failure stops the engine and surfaces through finish.
+func launchScenario(sys *lustre.System, s Scenario, cfgs []ior.Config, res *Result) *launchState {
+	eng := sys.Engine()
+	ls := &launchState{running: make([]*ior.RunningJob, len(cfgs))}
 	for i := range cfgs {
 		i := i
 		res.Jobs[i] = JobResult{Label: cfgs[i].Label, Config: cfgs[i], StartAt: s.Jobs[i].StartAt}
 		start := func() {
 			rj, err := ior.StartJob(sys, cfgs[i])
 			if err != nil {
-				if launchErr == nil {
-					launchErr = err
+				if ls.err == nil {
+					ls.err = err
 				}
 				eng.Stop()
 				return
 			}
-			running[i] = rj
+			ls.running[i] = rj
 			res.Jobs[i].IOR = rj.Result
 			eng.Spawn(cfgs[i].Label+"-watch", func(p *sim.Proc) {
 				p.Wait(rj.Done)
@@ -439,22 +461,32 @@ func RunScenario(plat *cluster.Platform, s Scenario, seed uint64, instrument ...
 			start()
 		}
 	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("workload: %s failed: %w", s.title(), err)
+	return ls
+}
+
+// finish surfaces launch and rank errors after the engine drained and
+// fills in the result's makespan.
+func (ls *launchState) finish(res *Result) error {
+	if ls.err != nil {
+		return ls.err
 	}
-	if launchErr != nil {
-		return nil, launchErr
-	}
-	for i := range running {
-		if err := running[i].Err(); err != nil {
-			return nil, err
+	for i := range ls.running {
+		if ls.running[i] == nil {
+			// A StartAt timer never fired: something stopped the engine
+			// before this job launched (a launch failure in a sibling shard
+			// — surfaced by the caller before finish runs — or an external
+			// Engine.Stop). Never report a half-run scenario as success.
+			return fmt.Errorf("workload: job %q never launched (engine stopped early)",
+				res.Jobs[i].Label)
+		}
+		if err := ls.running[i].Err(); err != nil {
+			return err
 		}
 		if res.Jobs[i].FinishedAt > res.Makespan {
 			res.Makespan = res.Jobs[i].FinishedAt
 		}
 	}
-	res.Solver = sys.Net().Stats()
-	return res, nil
+	return nil
 }
 
 // soloKey identifies configurations that share a baseline: placement does

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+	"pfsim/internal/lustre"
+)
+
+func shardScenarios(n, tasks int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		cfg := ior.PaperConfig(tasks)
+		cfg.Label = "shard-job"
+		cfg.SegmentCount = 2
+		cfg.Reps = 1
+		out[i] = NewScenario("shard", Job{Workload: IORJob{Cfg: cfg}})
+	}
+	return out
+}
+
+func TestRunShardedBasics(t *testing.T) {
+	plat := cluster.Cab()
+	res, err := RunSharded(plat, shardScenarios(3, 16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 3 {
+		t.Fatalf("got %d shard results", len(res.Shards))
+	}
+	for i, sh := range res.Shards {
+		if len(sh.Jobs) != 1 || sh.Jobs[0].WriteMBs() <= 0 {
+			t.Fatalf("shard %d result malformed", i)
+		}
+		if sh.Makespan <= 0 || sh.Makespan > res.Makespan {
+			t.Fatalf("shard %d makespan %v outside total %v", i, sh.Makespan, res.Makespan)
+		}
+	}
+	if res.Solver.ComponentsSolved == 0 {
+		t.Error("shared solver counters not collected")
+	}
+	agg := res.Aggregate()
+	if agg.TotalMBs <= 0 || agg.MinMBs > agg.MaxMBs {
+		t.Errorf("aggregate malformed: %+v", agg)
+	}
+}
+
+// TestRunShardedSolverModesBitIdentical runs the same sharded scenario set
+// under the partitioned and the reference solver: every job's bandwidth
+// and finish time must match bit for bit.
+func TestRunShardedSolverModesBitIdentical(t *testing.T) {
+	plat := cluster.Cab()
+	shards := shardScenarios(4, 8)
+	results := map[bool]*ShardedResult{}
+	for _, reference := range []bool{false, true} {
+		var err error
+		results[reference], err = RunSharded(plat, shards, 0, func(i int, sys *lustre.System) {
+			if i == 0 {
+				sys.Net().UseReferenceSolver(reference)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc, ref := results[false], results[true]
+	if math.Float64bits(inc.Makespan) != math.Float64bits(ref.Makespan) {
+		t.Fatalf("makespan diverged: %v vs %v", inc.Makespan, ref.Makespan)
+	}
+	for i := range inc.Shards {
+		for j := range inc.Shards[i].Jobs {
+			a, b := inc.Shards[i].Jobs[j], ref.Shards[i].Jobs[j]
+			if math.Float64bits(a.FinishedAt) != math.Float64bits(b.FinishedAt) {
+				t.Errorf("shard %d job %d finish diverged: %v vs %v", i, j, a.FinishedAt, b.FinishedAt)
+			}
+			if math.Float64bits(a.WriteMBs()) != math.Float64bits(b.WriteMBs()) {
+				t.Errorf("shard %d job %d bandwidth diverged: %v vs %v", i, j, a.WriteMBs(), b.WriteMBs())
+			}
+		}
+	}
+	// The partitioned solver must have scanned per-shard populations: the
+	// average component solve touches far fewer flows than the reference's
+	// whole-population passes.
+	incPer := float64(inc.Solver.ComponentFlowsScanned) / float64(inc.Solver.ComponentsSolved)
+	refPer := float64(ref.Solver.ComponentFlowsScanned) / float64(ref.Solver.ComponentsSolved)
+	if incPer*2 > refPer {
+		t.Errorf("per-solve scan %.1f not well below reference %.1f", incPer, refPer)
+	}
+}
+
+// TestRunShardedShardsAreIsolated: a shard's result must be independent of
+// its neighbours — the same scenario alone or next to a heavy neighbour
+// yields identical virtual-time behaviour, since shards share no links.
+func TestRunShardedShardsAreIsolated(t *testing.T) {
+	plat := cluster.Cab()
+	alone, err := RunSharded(plat, shardScenarios(1, 16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := ior.PaperConfig(64)
+	heavy.Label = "heavy"
+	heavy.SegmentCount = 4
+	heavy.Reps = 1
+	both, err := RunSharded(plat, []Scenario{
+		shardScenarios(1, 16)[0],
+		NewScenario("noise", Job{Workload: IORJob{Cfg: heavy}}),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := alone.Shards[0].Jobs[0], both.Shards[0].Jobs[0]
+	if math.Float64bits(a.FinishedAt) != math.Float64bits(b.FinishedAt) {
+		t.Errorf("neighbour changed shard 0 finish: %v vs %v", a.FinishedAt, b.FinishedAt)
+	}
+	if math.Float64bits(a.WriteMBs()) != math.Float64bits(b.WriteMBs()) {
+		t.Errorf("neighbour changed shard 0 bandwidth: %v vs %v", a.WriteMBs(), b.WriteMBs())
+	}
+}
+
+func TestRunShardedErrors(t *testing.T) {
+	plat := cluster.Cab()
+	if _, err := RunSharded(plat, nil, 0); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	bad := Scenario{Name: "bad", Jobs: []Job{{}}}
+	if _, err := RunSharded(plat, []Scenario{bad}, 0); err == nil || !strings.Contains(err.Error(), "shard 0") {
+		t.Errorf("bad shard error = %v, want shard-indexed error", err)
+	}
+}
+
+func TestRunShardedDeterministicForSeed(t *testing.T) {
+	plat := cluster.Cab()
+	shards := shardScenarios(2, 8)
+	r1, err := RunSharded(plat, shards, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSharded(plat, shards, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(r1.Makespan) != math.Float64bits(r2.Makespan) {
+		t.Fatalf("same seed diverged: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+	r3, err := RunSharded(plat, shards, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan == r3.Makespan {
+		t.Error("different seed produced identical makespan (suspicious)")
+	}
+}

@@ -269,6 +269,28 @@ func (r *Runner) applySlowdownsAll(plat *Platform, results []*ScenarioResult, se
 	return nil
 }
 
+// RunSharded executes several scenarios as independent file systems under
+// one engine and one shared fluid solver — the shared-nothing deployment
+// shape (many installations, one simulation). Shard link sets are
+// disjoint, so the partitioned solver keeps each shard its own component:
+// simulation cost per event scales with the touched shard, not the total
+// population. Slowdown baselines are not computed (a shard cannot slow
+// another down by construction; per-shard contention is visible in the
+// per-job results directly).
+func (r *Runner) RunSharded(plat *Platform, shards []Scenario) (*ShardedResult, error) {
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	tracker := r.newTracker()
+	tracker.addTotal(1)
+	res, err := workload.RunSharded(plat, shards, r.seed)
+	if err != nil {
+		return nil, err
+	}
+	tracker.tick()
+	return res, nil
+}
+
 // RunIOR executes one IOR configuration on a fresh simulated system — the
 // single-job scenario. With the default seed this reproduces the classic
 // serial path byte for byte.

@@ -382,3 +382,45 @@ func TestRunnerCancelMidRepeatDiscardsPartial(t *testing.T) {
 		t.Fatal("cancelled Repeat returned partial replicas")
 	}
 }
+
+func TestRunnerRunSharded(t *testing.T) {
+	plat, shards := SolverShardedScenario(8, 3)
+	var ticks int
+	r := NewRunner(WithParallelism(1), WithProgress(func(done, total int) { ticks++ }))
+	res, err := r.RunSharded(plat, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 3 || res.Makespan <= 0 {
+		t.Fatalf("sharded result malformed: %d shards, makespan %v", len(res.Shards), res.Makespan)
+	}
+	if ticks == 0 {
+		t.Error("progress callback never fired")
+	}
+	// All shards run the same workload on identical (but independent)
+	// file-system shards differing only by RNG stream: bandwidths must be
+	// close but the layouts independent.
+	for i, sh := range res.Shards {
+		if sh.Jobs[0].WriteMBs() <= 0 {
+			t.Fatalf("shard %d has no bandwidth", i)
+		}
+	}
+	if res.Solver.ComponentsSolved == 0 || res.Solver.ComponentFlowsScanned == 0 {
+		t.Error("solver counters missing from sharded result")
+	}
+	// The per-solve population must track the shard (16 flows), not the
+	// whole 48-flow simulation.
+	per := float64(res.Solver.ComponentFlowsScanned) / float64(res.Solver.ComponentsSolved)
+	if per > 16 {
+		t.Errorf("per-solve scan %.1f flows; want <= shard population 16", per)
+	}
+}
+
+func TestRunnerRunShardedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plat, shards := SolverShardedScenario(4, 2)
+	if _, err := NewRunner(WithContext(ctx)).RunSharded(plat, shards); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

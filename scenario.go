@@ -65,6 +65,35 @@ func SolverStressScenario(writers int) (*Platform, Scenario) {
 	return plat, NewScenario(name, ScenarioJob{Workload: IORWorkload(cfg)})
 }
 
+// ShardedResult is the outcome of a Runner.RunSharded execution: one
+// scenario result per independent file system plus the shared solver's
+// work counters.
+type ShardedResult = workload.ShardedResult
+
+// SolverShardedScenario is the sharded counterpart of
+// SolverStressScenario: the same file-per-process stress traffic split
+// across shards independent file systems under one engine and one solver
+// (writers per shard, 2 × writers flows each). It is the source for
+// `BenchmarkSolverSharded*`: the total flow population matches a
+// monolithic stress run of shards × writers ranks, but each shard is a
+// separate link-connectivity component, so the partitioned solver's
+// per-solve scan cost must track the shard size, not the population.
+func SolverShardedScenario(writers, shards int) (*Platform, []Scenario) {
+	plat := Cab()
+	out := make([]Scenario, shards)
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("bench-shard%d-solver%d", i, 2*writers)
+		cfg := PaperIOR(writers)
+		cfg.Label = name
+		cfg.FilePerProc = true
+		cfg.Collective = false
+		cfg.SegmentCount = 2
+		cfg.Reps = 1
+		out[i] = NewScenario(name, ScenarioJob{Workload: IORWorkload(cfg)})
+	}
+	return plat, out
+}
+
 // PLFSWorkload returns an n-rank application logging through ad_plfs
 // (Section VI): every rank appends to its own two-stripe log, so the job
 // self-contends at scale. mbPerRank <= 0 selects the Table II volume
