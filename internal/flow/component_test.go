@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -205,10 +206,10 @@ func TestShardedComponentCounters(t *testing.T) {
 	e := sim.NewEngine()
 	n := NewNet(e)
 	for s := 0; s < shards; s++ {
-		bb := n.NewLink("bb", Const(500))
+		bb := n.NewLink(fmt.Sprintf("bb%d", s), Const(500))
 		specs := make([]FlowSpec, flowsPer)
 		for i := range specs {
-			nic := n.NewLink("nic", Const(100))
+			nic := n.NewLink(fmt.Sprintf("nic%d_%d", s, i), Const(100))
 			specs[i] = FlowSpec{Name: "f", SizeMB: float64(100 + 10*i + s), Path: []*Link{nic, bb}}
 		}
 		n.StartBatch(specs)

@@ -54,6 +54,14 @@
 //     moved in place (sim.Engine.Reschedule) rather than cancelled and
 //     reposted.
 //
+//   - Parallel component solves: disjoint components have disjoint flows
+//     and links, so the per-instant flush may solve its dirty components
+//     on concurrent workers (SetSolveParallelism). Each worker owns a
+//     solveCtx — the progressive-filling scratch and a local Stats
+//     accumulator — solve epochs come from one atomic counter, and the
+//     sequential commit pass then runs in work-queue order, so results,
+//     telemetry and counters are byte-identical at any parallelism.
+//
 // UseReferenceSolver restores the naive behaviour (full link scans over
 // the whole network, one solve per change, linear completion scans); the
 // property tests use it as the oracle and the benchmarks as the
@@ -61,7 +69,10 @@
 //
 // Capacity models must depend only on their own link's traffic (as every
 // model in this repository does): the partitioned solver re-reads a
-// link's capacity only when its component is re-solved.
+// link's capacity only when its component is re-solved. With parallel
+// solving, Capacity must additionally be safe to call concurrently from
+// distinct components' links — true of every model here, whose Capacity
+// is a pure read of state mutated only between solves.
 package flow
 
 import (
@@ -69,7 +80,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
+	"pfsim/internal/pool"
 	"pfsim/internal/sim"
 )
 
@@ -321,8 +334,9 @@ type FlowSpec struct {
 
 // Net is a fluid network bound to a sim engine.
 type Net struct {
-	eng   *sim.Engine
-	links []*Link
+	eng       *sim.Engine
+	links     []*Link
+	linkNames map[string]bool // NewLink rejects duplicates: names key telemetry
 
 	// activeFlows holds flows in admission order; completed flows linger
 	// as tombstones (finished == true) and are compacted once they are
@@ -342,18 +356,58 @@ type Net struct {
 	observer  Observer
 	reference bool // solve eagerly with full link scans (oracle mode)
 
-	satScratch     []*Link
-	unfixedScratch []*Flow
-	cappedScratch  []*Flow
-	solvedScratch  []*component
-	stats          Stats
-	solveEpoch     int64
-	dsuEpoch       int64
+	// Per-solve state lives in solveCtx values, one per solver worker;
+	// ctxs[0] is the serial path's context. par is the configured worker
+	// count (see SetSolveParallelism); parFloor gates the fan-out by the
+	// flush's flow population so tiny flushes never pay goroutine handoff.
+	ctxs          []*solveCtx
+	par           int
+	parFloor      int
+	solvedScratch []*component
+	stats         Stats
+	solveEpoch    atomic.Int64 // globally unique solve stamps, any worker
+	dsuEpoch      int64
 
 	completions compHeap    // active flows ordered by (due, seq); incremental mode only
 	dueChanged  []dueChange // completion keys moved by the in-progress flush
 	flowSeq     int64       // admission counter feeding Flow.seq
 }
+
+// solveCtx is the state one progressive-filling pass needs: the scratch
+// slices the rounds walk and a local Stats accumulator. Each solver
+// worker owns one, so concurrent component solves share nothing but the
+// components themselves (disjoint by construction) and the atomic epoch
+// counter; the local stats merge into Net.stats after the fan-in. All
+// Stats fields are integer counts, so the merged totals are identical
+// regardless of which worker solved which component.
+type solveCtx struct {
+	unfixed []*Flow
+	sat     []*Link
+	capped  []*Flow
+	epoch   int64 // epoch of the in-progress solve (stamped on fixed flows)
+	stats   Stats
+}
+
+// merge folds o into s and zeroes o. Integer sums only — order-free.
+func (s *Stats) merge(o *Stats) {
+	s.Solves += o.Solves
+	s.ComponentsSolved += o.ComponentsSolved
+	s.ComponentFlowsScanned += o.ComponentFlowsScanned
+	s.LinkVisits += o.LinkVisits
+	s.Coalesced += o.Coalesced
+	s.Rounds += o.Rounds
+	s.FlowsScanned += o.FlowsScanned
+	s.FlowsSettled += o.FlowsSettled
+	s.HeapOps += o.HeapOps
+	*o = Stats{}
+}
+
+// defaultParFloor is the flush flow population below which dirty
+// components are solved serially even when SetSolveParallelism enabled
+// workers: such solves finish faster than the goroutine handoff they
+// would buy. Results are byte-identical either way; tests lower the
+// floor to force the parallel path onto small populations.
+const defaultParFloor = 192
 
 // dueChange stages one completion-heap re-key. Keys are applied one at a
 // time (or in bulk via a rebuild) after the flush, never mid-heap-repair,
@@ -399,18 +453,51 @@ func (n *Net) Observe(o Observer) { n.observer = o }
 
 // NewNet creates an empty network on eng.
 func NewNet(eng *sim.Engine) *Net {
-	return &Net{eng: eng}
+	return &Net{
+		eng:       eng,
+		linkNames: map[string]bool{},
+		par:       1,
+		parFloor:  defaultParFloor,
+		ctxs:      []*solveCtx{{}},
+	}
 }
 
 // Engine returns the engine the network is bound to.
 func (n *Net) Engine() *sim.Engine { return n.eng }
 
-// NewLink adds a link with the given capacity model.
+// NewLink adds a link with the given capacity model. Link names key
+// telemetry and error reporting, so duplicates are a caller bug: two
+// shards built with the same prefix would silently alias each other's
+// carried-volume labels. NewLink panics on a duplicate; callers that can
+// see a clash coming check HasLink first and surface an error
+// (lustre.NewSharedSystem validates its prefix this way).
 func (n *Net) NewLink(name string, model CapacityModel) *Link {
+	if n.linkNames[name] {
+		panic(fmt.Sprintf("flow: duplicate link name %q", name))
+	}
+	n.linkNames[name] = true
 	l := &Link{name: name, model: model, net: n, compIdx: -1}
 	n.links = append(n.links, l)
 	return l
 }
+
+// HasLink reports whether a link with the given name exists on the net.
+func (n *Net) HasLink(name string) bool { return n.linkNames[name] }
+
+// SetSolveParallelism sets how many workers the per-instant flush may
+// use to solve independent dirty components concurrently: 1 (the
+// default) is fully serial, values below one select GOMAXPROCS.
+// Components are disjoint by construction — no shared flows, links or
+// scratch — worker-local stats are integer counts merged after the
+// fan-in, and the commit pass stays sequential in work-queue order, so
+// simulations are byte-identical at any setting; only wall-clock time
+// changes. Flushes whose dirty components hold few flows in total are
+// solved serially regardless (the fan-out would cost more than the
+// solves). Reference mode always solves serially: it is the oracle.
+func (n *Net) SetSolveParallelism(p int) { n.par = pool.Workers(p) }
+
+// SolveParallelism reports the configured solver worker count.
+func (n *Net) SolveParallelism() int { return n.par }
 
 // ActiveFlows reports the number of unfinished flows.
 func (n *Net) ActiveFlows() int { return n.activeCount }
@@ -709,13 +796,15 @@ func (n *Net) flushWork() {
 			continue
 		}
 		c.dirty = false
-		n.solveComponent(c)
 		solved = append(solved, c)
 	}
 	n.work = n.work[:0]
-	// Commit after every solve: within each component flows commit in
-	// admission order, so per-link carried accrual sums in the same order
-	// as the reference pass over the whole population.
+	n.solveAll(solved)
+	// Commit after every solve, sequentially and in work-queue order:
+	// within each component flows commit in admission order, so per-link
+	// carried accrual, completion re-keys and telemetry sum in the same
+	// order as the reference pass over the whole population — regardless
+	// of which worker solved which component.
 	for _, c := range solved {
 		for _, f := range c.flows {
 			n.commit(f)
@@ -726,6 +815,45 @@ func (n *Net) flushWork() {
 	}
 	n.solvedScratch = solved[:0]
 	n.scheduleNext()
+}
+
+// solveAll runs one progressive-filling pass per component, fanning the
+// passes across solver workers when both the configured parallelism and
+// the flush's population warrant it. Components are disjoint, each
+// worker solves with its own solveCtx, and solve epochs come from one
+// atomic counter (globally unique, so a stale fixedEpoch stamp can never
+// collide with a fresh solve), so concurrent passes share no mutable
+// state; worker-local stats merge after the fan-in.
+func (n *Net) solveAll(cs []*component) {
+	par := n.par
+	if par > len(cs) {
+		par = len(cs)
+	}
+	if par > 1 && n.parFloor > 0 {
+		flows := 0
+		for _, c := range cs {
+			flows += len(c.flows)
+		}
+		if flows < n.parFloor {
+			par = 1
+		}
+	}
+	if par <= 1 {
+		for _, c := range cs {
+			n.solveComponent(n.ctxs[0], c)
+		}
+	} else {
+		for len(n.ctxs) < par {
+			n.ctxs = append(n.ctxs, &solveCtx{})
+		}
+		ctxs := n.ctxs
+		pool.Fan(par, len(cs), func(worker, i int) {
+			n.solveComponent(ctxs[worker], cs[i])
+		})
+	}
+	for _, ctx := range n.ctxs {
+		n.stats.merge(&ctx.stats)
+	}
 }
 
 // commitReference is the reference solver's per-instant accounting pass:
@@ -925,21 +1053,24 @@ func (n *Net) Recompute() {
 		n.commitReference()
 	} else {
 		n.stats.Solves++
+		live := n.solvedScratch[:0]
 		for _, c := range n.comps {
 			if c.dead {
 				continue
 			}
 			c.dirty = false
-			n.solveComponent(c)
+			live = append(live, c)
 		}
-		for _, c := range n.comps {
-			if c.dead {
-				continue
-			}
+		n.solveAll(live)
+		for _, c := range live {
 			for _, f := range c.flows {
 				n.commit(f)
 			}
 		}
+		for i := range live {
+			live[i] = nil
+		}
+		n.solvedScratch = live[:0]
 	}
 	n.scheduleNext()
 }
@@ -961,18 +1092,20 @@ func (n *Net) Recompute() {
 // monolithic pass restricted to this component. Reference mode shares none
 // of this machinery (assignRatesReference): it is the oracle, so a defect
 // in the component or unfixed-list bookkeeping cannot cancel out of the
-// inc-vs-ref property tests.
-func (n *Net) solveComponent(c *component) {
-	n.solveEpoch++
+// inc-vs-ref property tests. All mutable state is the component's own,
+// the ctx's own, or the atomic epoch counter, so distinct components may
+// solve on concurrent workers (solveAll).
+func (n *Net) solveComponent(ctx *solveCtx, c *component) {
+	ctx.epoch = n.solveEpoch.Add(1)
 	links := c.links
-	n.stats.ComponentsSolved++
-	n.stats.LinkVisits += int64(len(links))
+	ctx.stats.ComponentsSolved++
+	ctx.stats.LinkVisits += int64(len(links))
 	for _, l := range links {
 		l.residual = l.model.Capacity(l.active)
 		l.unfixed = 0
 		l.saturated = false
 	}
-	unfixed := n.unfixedScratch[:0]
+	unfixed := ctx.unfixed[:0]
 	for _, f := range c.flows {
 		if f.finished {
 			continue
@@ -982,13 +1115,13 @@ func (n *Net) solveComponent(c *component) {
 			l.unfixed++
 		}
 	}
-	n.stats.ComponentFlowsScanned += int64(len(unfixed))
-	sat := n.satScratch[:0]
+	ctx.stats.ComponentFlowsScanned += int64(len(unfixed))
+	sat := ctx.sat[:0]
 	for len(unfixed) > 0 {
-		n.stats.Rounds++
-		n.stats.FlowsScanned += int64(len(unfixed))
+		ctx.stats.Rounds++
+		ctx.stats.FlowsScanned += int64(len(unfixed))
 		minShare := math.Inf(1)
-		n.stats.LinkVisits += int64(len(links))
+		ctx.stats.LinkVisits += int64(len(links))
 		for _, l := range links {
 			if l.unfixed == 0 {
 				continue
@@ -1002,8 +1135,8 @@ func (n *Net) solveComponent(c *component) {
 			}
 		}
 		// Fix rate-capped flows whose cap is at or below the share.
-		if n.fixCapped(unfixed, minShare) {
-			unfixed = n.compactUnfixed(unfixed)
+		if fixCapped(ctx, unfixed, minShare) {
+			unfixed = compactUnfixed(unfixed, ctx.epoch)
 			continue
 		}
 		if math.IsInf(minShare, 1) {
@@ -1014,14 +1147,14 @@ func (n *Net) solveComponent(c *component) {
 				if r <= 0 {
 					panic("flow: unconstrained flow in rate assignment")
 				}
-				n.fix(f, r)
+				fixFlow(f, r, ctx.epoch)
 				unfixed[i] = nil
 			}
 			unfixed = unfixed[:0]
 			break
 		}
 		// Saturate bottleneck links and fix their flows at the fair share.
-		n.stats.LinkVisits += int64(len(links))
+		ctx.stats.LinkVisits += int64(len(links))
 		for _, l := range links {
 			if l.unfixed == 0 {
 				continue
@@ -1045,7 +1178,7 @@ func (n *Net) solveComponent(c *component) {
 				}
 			}
 			if onBottleneck {
-				n.fix(f, minShare)
+				fixFlow(f, minShare, ctx.epoch)
 				progressed = true
 			}
 		}
@@ -1056,10 +1189,10 @@ func (n *Net) solveComponent(c *component) {
 		if !progressed {
 			panic("flow: progressive filling made no progress")
 		}
-		unfixed = n.compactUnfixed(unfixed)
+		unfixed = compactUnfixed(unfixed, ctx.epoch)
 	}
-	n.satScratch = sat[:0]
-	n.unfixedScratch = unfixed[:0]
+	ctx.sat = sat[:0]
+	ctx.unfixed = unfixed[:0]
 }
 
 // fixCapped pins every unfixed flow whose rate cap is at or below the
@@ -1073,8 +1206,8 @@ func (n *Net) solveComponent(c *component) {
 // the residual subtraction order — and with it the last ulps of later
 // shares — depend on the round structure. It reports whether any flow was
 // fixed.
-func (n *Net) fixCapped(unfixed []*Flow, minShare float64) bool {
-	capped := n.cappedScratch[:0]
+func fixCapped(ctx *solveCtx, unfixed []*Flow, minShare float64) bool {
+	capped := ctx.capped[:0]
 	for _, f := range unfixed {
 		if f.maxRate > 0 && f.maxRate <= minShare {
 			capped = append(capped, f)
@@ -1088,14 +1221,14 @@ func (n *Net) fixCapped(unfixed []*Flow, minShare float64) bool {
 			return capped[i].seq < capped[j].seq
 		})
 		for _, f := range capped {
-			n.fix(f, f.maxRate)
+			fixFlow(f, f.maxRate, ctx.epoch)
 		}
 	}
 	fixed := len(capped) > 0
 	for i := range capped {
 		capped[i] = nil
 	}
-	n.cappedScratch = capped[:0]
+	ctx.capped = capped[:0]
 	return fixed
 }
 
@@ -1108,8 +1241,8 @@ func (n *Net) fixCapped(unfixed []*Flow, minShare float64) bool {
 // are bit-identical while the implementations stay independent.
 func (n *Net) assignRatesReference() {
 	links := n.links
-	n.solveEpoch++
-	epoch := n.solveEpoch
+	ctx := n.ctxs[0]
+	epoch := n.solveEpoch.Add(1)
 	n.stats.Solves++
 	n.stats.ComponentsSolved++
 	n.stats.ComponentFlowsScanned += int64(n.activeCount)
@@ -1129,7 +1262,7 @@ func (n *Net) assignRatesReference() {
 			l.unfixed++
 		}
 	}
-	sat := n.satScratch[:0]
+	sat := ctx.sat[:0]
 	for unfixedCount > 0 {
 		n.stats.Rounds++
 		n.stats.FlowsScanned += int64(n.activeCount)
@@ -1149,7 +1282,7 @@ func (n *Net) assignRatesReference() {
 		}
 		// Fix rate-capped flows whose cap is at or below the share, in
 		// (cap, admission) order — see fixCapped for why the order matters.
-		capped := n.cappedScratch[:0]
+		capped := ctx.capped[:0]
 		for _, f := range n.activeFlows {
 			if f.finished || f.fixedEpoch == epoch || f.maxRate <= 0 || f.maxRate > minShare {
 				continue
@@ -1164,16 +1297,16 @@ func (n *Net) assignRatesReference() {
 				return capped[i].seq < capped[j].seq
 			})
 			for _, f := range capped {
-				n.fix(f, f.maxRate)
+				fixFlow(f, f.maxRate, epoch)
 				unfixedCount--
 			}
 			for i := range capped {
 				capped[i] = nil
 			}
-			n.cappedScratch = capped[:0]
+			ctx.capped = capped[:0]
 			continue
 		}
-		n.cappedScratch = capped[:0]
+		ctx.capped = capped[:0]
 		if math.IsInf(minShare, 1) {
 			// Only path-less capped flows remain; their caps exceeded every
 			// share constraint — fix them at their cap.
@@ -1185,10 +1318,10 @@ func (n *Net) assignRatesReference() {
 				if r <= 0 {
 					panic("flow: unconstrained flow in rate assignment")
 				}
-				n.fix(f, r)
+				fixFlow(f, r, epoch)
 				unfixedCount--
 			}
-			n.satScratch = sat[:0]
+			ctx.sat = sat[:0]
 			return
 		}
 		// Saturate bottleneck links and fix their flows at the fair share.
@@ -1219,7 +1352,7 @@ func (n *Net) assignRatesReference() {
 				}
 			}
 			if onBottleneck {
-				n.fix(f, minShare)
+				fixFlow(f, minShare, epoch)
 				unfixedCount--
 				progressed = true
 			}
@@ -1232,16 +1365,17 @@ func (n *Net) assignRatesReference() {
 			panic("flow: progressive filling made no progress")
 		}
 	}
-	n.satScratch = sat[:0]
+	ctx.sat = sat[:0]
 }
 
-// compactUnfixed drops just-fixed flows from the unfixed list in place,
-// preserving admission order (which determines the order residuals are
-// charged, and therefore bit-exactness against a full rescan).
-func (n *Net) compactUnfixed(fs []*Flow) []*Flow {
+// compactUnfixed drops flows fixed in the given solve epoch from the
+// unfixed list in place, preserving admission order (which determines the
+// order residuals are charged, and therefore bit-exactness against a full
+// rescan).
+func compactUnfixed(fs []*Flow, epoch int64) []*Flow {
 	w := 0
 	for _, f := range fs {
-		if f.fixedEpoch != n.solveEpoch {
+		if f.fixedEpoch != epoch {
 			fs[w] = f
 			w++
 		}
@@ -1252,14 +1386,17 @@ func (n *Net) compactUnfixed(fs []*Flow) []*Flow {
 	return fs[:w]
 }
 
-// fix pins a flow's rate for the current solve and charges it against its
-// path's residuals. Accounting is untouched here: the per-instant commit
-// settles the flow and re-keys its completion only if the rate it ends the
-// instant with differs from the one in force, so flows whose allocation is
-// unmoved — untouched components, or transient mid-instant wobbles — keep
-// their anchors and heap keys bit-for-bit.
-func (n *Net) fix(f *Flow, rate float64) {
-	f.fixedEpoch = n.solveEpoch
+// fixFlow pins a flow's rate for the solve identified by epoch and
+// charges it against its path's residuals. Accounting is untouched here:
+// the per-instant commit settles the flow and re-keys its completion only
+// if the rate it ends the instant with differs from the one in force, so
+// flows whose allocation is unmoved — untouched components, or transient
+// mid-instant wobbles — keep their anchors and heap keys bit-for-bit.
+// Epochs are drawn from one atomic counter and never reused, so a stamp
+// left by an earlier solve (on any worker) can never masquerade as this
+// one's.
+func fixFlow(f *Flow, rate float64, epoch int64) {
+	f.fixedEpoch = epoch
 	for _, l := range f.path {
 		l.residual -= rate
 		l.unfixed--

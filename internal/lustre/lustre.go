@@ -49,10 +49,17 @@ func NewSystem(eng *sim.Engine, plat *cluster.Platform, rng *stats.RNG) (*System
 // one solver. Their link sets are disjoint — traffic on one shard never
 // shares a link with another — so the partitioned solver keeps each shard
 // its own component and a change in one never scans the others. The
-// prefix namespaces link and resource labels (e.g. "fs0/backbone").
+// prefix namespaces link and resource labels (e.g. "fs0/backbone") and
+// must be unique per shared net: a reused prefix would alias the two
+// shards' telemetry labels, so it is rejected here (flow.Net.NewLink
+// additionally panics on any duplicate link name as a backstop).
 func NewSharedSystem(eng *sim.Engine, net *flow.Net, plat *cluster.Platform, rng *stats.RNG, prefix string) (*System, error) {
 	if err := plat.Validate(); err != nil {
 		return nil, err
+	}
+	if net.HasLink(prefix + "backbone") {
+		return nil, fmt.Errorf("lustre: shard prefix %q already in use on this network (link %q exists)",
+			prefix, prefix+"backbone")
 	}
 	s := &System{
 		plat:   plat,
@@ -96,6 +103,13 @@ func MustNewSystem(eng *sim.Engine, plat *cluster.Platform, rng *stats.RNG) *Sys
 
 // Platform returns the platform description the system was built from.
 func (s *System) Platform() *cluster.Platform { return s.plat }
+
+// Prefix returns the label namespace the system was built with — "" for a
+// private system, the shard prefix (e.g. "fs0/") for a shared one. Layers
+// that create their own links on the shared net (e.g. mpiio aggregators)
+// must include it in their link names, or identically labelled jobs on
+// two shards would collide.
+func (s *System) Prefix() string { return s.prefix }
 
 // Engine returns the simulation engine.
 func (s *System) Engine() *sim.Engine { return s.eng }

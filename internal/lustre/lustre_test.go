@@ -640,3 +640,22 @@ func TestNewSystemIsPrivateNet(t *testing.T) {
 		t.Errorf("unprefixed backbone name %q", got)
 	}
 }
+
+// TestSharedSystemRejectsDuplicatePrefix: two shards built with the same
+// prefix on one net would alias every telemetry label (fs0/ost3 naming
+// two different OSTs), so the second build must fail instead of silently
+// sharing the namespace. Distinct prefixes keep working.
+func TestSharedSystemRejectsDuplicatePrefix(t *testing.T) {
+	eng := sim.NewEngine()
+	net := flow.NewNet(eng)
+	plat := testPlat()
+	if _, err := NewSharedSystem(eng, net, plat, stats.NewRNG(1), "fs0/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSharedSystem(eng, net, plat, stats.NewRNG(2), "fs0/"); err == nil {
+		t.Fatal("duplicate prefix accepted")
+	}
+	if _, err := NewSharedSystem(eng, net, plat, stats.NewRNG(3), "fs1/"); err != nil {
+		t.Fatalf("distinct prefix rejected: %v", err)
+	}
+}

@@ -65,7 +65,28 @@ type Engine struct {
 
 	yield   chan struct{} // handed a token when a proc returns control
 	procs   int           // live processes
+	live    []*Proc       // every spawned, unfinished process (Drain's worklist)
 	blocked map[*Proc]string
+	killing bool // Drain in progress: resumed procs unwind instead of running
+
+	pollEvery int // call pollFn every this many fired events (0: never)
+	pollCount int
+	pollFn    func()
+}
+
+// SetPoll installs fn to run after every n fired events during Run — the
+// hook cancellation watchers use to bound their wall-clock latency in
+// the unit that actually passes wall-clock time (events processed), with
+// zero effect on the simulation: no events are injected, virtual time
+// and event order are untouched. fn must not mutate simulation state;
+// reading external conditions and calling Stop is the intended use.
+// n <= 0 or a nil fn removes the hook.
+func (e *Engine) SetPoll(n int, fn func()) {
+	if n <= 0 || fn == nil {
+		e.pollEvery, e.pollFn, e.pollCount = 0, nil, 0
+		return
+	}
+	e.pollEvery, e.pollFn, e.pollCount = n, fn, 0
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -175,6 +196,12 @@ func (e *Engine) RunUntil(tmax float64) error {
 			e.now = ev.at
 		}
 		ev.fn()
+		if e.pollEvery > 0 {
+			if e.pollCount++; e.pollCount >= e.pollEvery {
+				e.pollCount = 0
+				e.pollFn()
+			}
+		}
 	}
 	if e.stopped {
 		e.stopped = false // consume the stop so the engine can be resumed

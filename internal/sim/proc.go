@@ -6,42 +6,64 @@ import "fmt"
 // deterministically with the engine. Inside the body function, the blocking
 // methods (Sleep, Wait, Acquire via Resource) advance virtual time.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	done   bool
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	done    bool
+	started bool // the start event fired: a goroutine exists
 }
+
+// procKilled is the Drain sentinel: resuming a parked process while the
+// engine is draining panics with it, unwinding the goroutine; the spawn
+// wrapper recovers it (and only it) so the goroutine exits cleanly.
+type procKilled struct{}
 
 // Spawn starts a new process at the current virtual time. The body runs
 // when the engine reaches the start event. Spawn may be called before Run
 // or from inside events and other processes.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
-	e.procs++
-	e.Schedule(0, func() {
-		go func() {
-			<-p.resume
-			body(p)
-			p.done = true
-			e.procs--
-			e.yield <- struct{}{}
-		}()
-		p.transfer()
-	})
-	return p
+	return e.SpawnAfter(0, name, body)
 }
 
 // SpawnAfter starts a process after delay seconds of virtual time.
 func (e *Engine) SpawnAfter(delay float64, name string, body func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
 	e.procs++
+	// Compact finished procs out of the drain worklist once they dominate
+	// it, so engines that churn through many short-lived processes keep
+	// the list proportional to the live population (order preserved).
+	if len(e.live) > 64 && len(e.live) >= 2*e.procs {
+		w := 0
+		for _, q := range e.live {
+			if !q.done {
+				e.live[w] = q
+				w++
+			}
+		}
+		for i := w; i < len(e.live); i++ {
+			e.live[i] = nil
+		}
+		e.live = e.live[:w]
+	}
+	e.live = append(e.live, p)
 	e.Schedule(delay, func() {
+		p.started = true
 		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok {
+						panic(r)
+					}
+				}
+				p.done = true
+				e.procs--
+				e.yield <- struct{}{}
+			}()
 			<-p.resume
+			if e.killing {
+				panic(procKilled{})
+			}
 			body(p)
-			p.done = true
-			e.procs--
-			e.yield <- struct{}{}
 		}()
 		p.transfer()
 	})
@@ -56,10 +78,72 @@ func (p *Proc) transfer() {
 }
 
 // yieldToEngine returns control to the engine and blocks the process until
-// it is resumed.
+// it is resumed. A process resumed by Drain unwinds instead of returning
+// to its body. The pre-send kill check matters for process bodies whose
+// defers call blocking methods: during a drain unwind such a call must
+// re-panic immediately — yielding for real would hand Drain a token it
+// would misread as the goroutine's exit, leaking the goroutine.
 func (p *Proc) yieldToEngine() {
+	if p.eng.killing {
+		panic(procKilled{})
+	}
 	p.eng.yield <- struct{}{}
 	<-p.resume
+	if p.eng.killing {
+		panic(procKilled{})
+	}
+}
+
+// Drain terminates every live process. Between events every started
+// process goroutine is parked awaiting its resume token, so Drain resumes
+// each in spawn order with the kill flag set: the process panics with the
+// procKilled sentinel, its goroutine unwinds and exits, and the engine
+// waits for the exit before moving to the next. Processes whose start
+// event never fired have no goroutine yet and are simply retired.
+//
+// Draining abandons the simulation: every still-queued event is
+// cancelled too, because the queue is full of traps once the processes
+// are gone — a killed sleeper's wake event would hand a resume token to
+// a goroutine that no longer exists (hanging the engine), and a retired
+// process's unfired start event would spawn its body on a later Run
+// after its bookkeeping was already torn down. A drained engine is
+// therefore inert: Run returns immediately and harmlessly.
+//
+// A run that completes normally leaves no live processes and Drain is a
+// no-op. It exists for runs stopped early — a cancelled context, a launch
+// failure — whose parked goroutines (and the engine, network and results
+// their stacks pin) would otherwise leak for the life of the program.
+// Call it only after Run has returned; the engine must not be mid-event.
+func (e *Engine) Drain() {
+	if e.procs > 0 {
+		e.killing = true
+		for _, p := range e.live {
+			switch {
+			case p.done:
+			case !p.started:
+				// The start event never fired (engine stopped first): there
+				// is no goroutine to unwind.
+				p.done = true
+				e.procs--
+			default:
+				p.resume <- struct{}{}
+				<-e.yield
+			}
+		}
+		e.killing = false
+		e.blocked = map[*Proc]string{}
+	}
+	e.live = nil
+	// Cancel the abandoned queue even when no process was live: the inert
+	// guarantee must not depend on which side of its last instant the run
+	// was stopped on. (After a normal completion the queue is empty and
+	// this is a no-op.)
+	for i := range e.events {
+		e.events[i].cancelled = true
+		e.events[i].index = -1
+		e.events[i] = nil
+	}
+	e.events = e.events[:0]
 }
 
 // Name returns the process name (used in deadlock reports).

@@ -3,8 +3,10 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestEventOrdering(t *testing.T) {
@@ -538,4 +540,141 @@ func TestRescheduleNaNPanics(t *testing.T) {
 	e := NewEngine()
 	ev := e.Schedule(1, func() {})
 	e.Reschedule(ev, math.NaN())
+}
+
+// TestDrainKillsParkedProcs: a stopped run leaves processes parked on
+// their resume channels (sleepers, signal waiters, resource queuers, and
+// spawns whose start event never fired); Drain must unwind every one so
+// no goroutine outlives the engine, and a completed run's Drain is a
+// no-op.
+func TestDrainKillsParkedProcs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine()
+	sig := e.NewSignal("never")
+	res := e.NewResource("gate", 1)
+	e.Spawn("sleeper", func(p *Proc) { p.Sleep(100) })
+	e.Spawn("waiter", func(p *Proc) { p.Wait(sig) })
+	e.Spawn("holder", func(p *Proc) { res.Use(p, 100) })
+	e.Spawn("queuer", func(p *Proc) { res.Use(p, 1) })
+	e.SpawnAfter(50, "late", func(p *Proc) { p.Sleep(1) })
+	e.Schedule(5, e.Stop)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.LiveProcs() != 5 {
+		t.Fatalf("live procs after stop = %d, want 5", e.LiveProcs())
+	}
+	e.Drain()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs after drain = %d, want 0", e.LiveProcs())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain leaked goroutines: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	// Drain abandons the simulation wholesale: the killed sleepers' wake
+	// events and the retired spawn's start event are cancelled, so
+	// resuming the drained engine is a harmless no-op rather than a hang
+	// (a wake event would block forever handing a token to an unwound
+	// goroutine) or a double-spawn.
+	if e.Pending() != 0 {
+		t.Fatalf("drained engine still has %d queued events", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("resuming a drained engine: %v", err)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("resumed drained engine revived procs: %d", e.LiveProcs())
+	}
+
+	// A drained engine can still be inspected and a fresh run on a new
+	// engine is unaffected; Drain on a cleanly finished engine is a no-op.
+	e2 := NewEngine()
+	done := false
+	e2.Spawn("ok", func(p *Proc) { p.Sleep(1); done = true })
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e2.Drain()
+	if !done || e2.LiveProcs() != 0 {
+		t.Fatal("normal run perturbed by no-op drain")
+	}
+}
+
+// TestSetPollFiresPerEventBatch: the poll hook runs every n fired
+// events, injects nothing, and can stop the engine mid-run; removal
+// works.
+func TestSetPollFiresPerEventBatch(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() { fired++ })
+	}
+	polls := 0
+	e.SetPoll(3, func() { polls++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 || polls != 3 { // after events 3, 6, 9
+		t.Errorf("fired %d events with %d polls, want 10 and 3", fired, polls)
+	}
+	e.SetPoll(0, nil)
+	e.Schedule(1, func() { fired++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if polls != 3 {
+		t.Errorf("removed poll hook still ran (%d polls)", polls)
+	}
+
+	// A poll that calls Stop halts the run at the batch boundary.
+	e2 := NewEngine()
+	ran := 0
+	for i := 0; i < 100; i++ {
+		e2.Schedule(float64(i), func() { ran++ })
+	}
+	e2.SetPoll(5, func() {
+		if ran >= 10 {
+			e2.Stop()
+		}
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 10 {
+		t.Errorf("stop via poll ran %d events, want 10", ran)
+	}
+}
+
+// TestDrainSurvivesBlockingDefer: a process body whose defer calls a
+// blocking method must still unwind cleanly under Drain — the deferred
+// Sleep re-panics the kill sentinel instead of yielding for real, which
+// would hand Drain a token it would misread as the goroutine's exit.
+func TestDrainSurvivesBlockingDefer(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine()
+	e.Spawn("deferred-sleeper", func(p *Proc) {
+		defer func() { p.Sleep(1) }() // blocking cleanup: must not wedge Drain
+		p.Sleep(100)
+	})
+	e.Schedule(5, e.Stop)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs after drain = %d, want 0", e.LiveProcs())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("blocking defer leaked a goroutine: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
 }

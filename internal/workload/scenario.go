@@ -396,25 +396,46 @@ func (r *Result) Job(label string) *JobResult {
 // here — see SoloConfigs. Instrument hooks run against the freshly built
 // system before any job launches (e.g. to attach a trace recorder).
 func RunScenario(plat *cluster.Platform, s Scenario, seed uint64, instrument ...func(*lustre.System)) (*Result, error) {
+	return RunScenarioWith(plat, s, RunOptions{Seed: seed}, instrument...)
+}
+
+// RunScenarioWith is RunScenario with explicit run options: the solver's
+// component-solve parallelism (byte-identical at any setting) and a
+// cancellation context polled mid-run. Instrument hooks run after the
+// options are applied, so they may override them (e.g. a benchmark
+// forcing a solver mode).
+func RunScenarioWith(plat *cluster.Platform, s Scenario, opts RunOptions, instrument ...func(*lustre.System)) (*Result, error) {
 	cfgs, err := s.materialise(plat)
 	if err != nil {
 		return nil, err
 	}
+	seed := opts.Seed
 	if seed == 0 {
 		seed = plat.Seed
 	}
 	eng := sim.NewEngine()
+	// A run stopped early (cancellation, launch failure) leaves simulated
+	// processes parked on their resume channels; drain them on every exit
+	// so nothing pins the engine. No-op after a normal completion.
+	defer eng.Drain()
 	sys, err := lustre.NewSystem(eng, plat, stats.NewRNG(seed).Fork(s.seedHash(cfgs)))
 	if err != nil {
 		return nil, err
+	}
+	if opts.Parallelism > 1 {
+		sys.Net().SetSolveParallelism(opts.Parallelism)
 	}
 	for _, fn := range instrument {
 		fn(sys)
 	}
 	res := &Result{Scenario: s, Jobs: make([]JobResult, len(cfgs))}
 	launch := launchScenario(sys, s, cfgs, res)
+	cancelled := watchContext(eng, opts.Ctx)
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("workload: %s failed: %w", s.title(), err)
+	}
+	if err := cancelled(); err != nil {
+		return nil, err
 	}
 	if err := launch.finish(res); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/flow"
@@ -40,6 +41,19 @@ type ShardedResult struct {
 // seed 0 selects plat.Seed. Instrument hooks run against each freshly
 // built system (shard index first) before any job launches.
 func RunSharded(plat *cluster.Platform, shards []Scenario, seed uint64, instrument ...func(int, *lustre.System)) (*ShardedResult, error) {
+	return RunShardedWith(plat, shards, RunOptions{Seed: seed}, instrument...)
+}
+
+// RunShardedWith is RunSharded with explicit run options. Shards are
+// independent link-connectivity components of the shared solver, so
+// Parallelism > 1 solves the components an instant dirtied on concurrent
+// workers — byte-identical results at any setting, with the wall-clock
+// win growing with the number of shards an instant touches. Ctx is
+// polled every few thousand fired events across the (single, long)
+// engine run; on cancellation the engine stops, its processes drain,
+// and the call returns ctx.Err(). Instrument hooks run after the
+// options are applied and may override them.
+func RunShardedWith(plat *cluster.Platform, shards []Scenario, opts RunOptions, instrument ...func(int, *lustre.System)) (*ShardedResult, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("workload: sharded run has no scenarios")
 	}
@@ -51,11 +65,16 @@ func RunSharded(plat *cluster.Platform, shards []Scenario, seed uint64, instrume
 		}
 		allCfgs[i] = cfgs
 	}
+	seed := opts.Seed
 	if seed == 0 {
 		seed = plat.Seed
 	}
 	eng := sim.NewEngine()
+	defer eng.Drain() // early-stopped runs park procs; see RunScenarioWith
 	net := flow.NewNet(eng)
+	if opts.Parallelism > 1 {
+		net.SetSolveParallelism(opts.Parallelism)
+	}
 	base := stats.NewRNG(seed)
 	out := &ShardedResult{Shards: make([]*Result, len(shards))}
 	launches := make([]*launchState, len(shards))
@@ -72,8 +91,12 @@ func RunSharded(plat *cluster.Platform, shards []Scenario, seed uint64, instrume
 		out.Shards[i] = res
 		launches[i] = launchScenario(sys, s, allCfgs[i], res)
 	}
+	cancelled := watchContext(eng, opts.Ctx)
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("workload: sharded run failed: %w", err)
+	}
+	if err := cancelled(); err != nil {
+		return nil, err
 	}
 	// Surface launch failures first: a failed shard stops the engine early,
 	// leaving other shards' delayed jobs unlaunched — their finish must not
@@ -95,23 +118,39 @@ func RunSharded(plat *cluster.Platform, shards []Scenario, seed uint64, instrume
 	return out, nil
 }
 
-// Aggregate summarises the sharded run across every shard's jobs.
+// Aggregate summarises the sharded run across every shard's jobs, with
+// the same semantics as Result.Aggregate over the union of the jobs:
+// min/max/mean/total of per-job mean write bandwidth, and slowdown
+// statistics over the jobs that have baselines (RunSharded computes
+// none, but ApplySolo on the per-shard results fills them in). It
+// iterates the jobs directly rather than folding per-shard aggregates —
+// an earlier revision let a job-less shard's zero-valued aggregate drag
+// the cross-shard MinMBs to 0, and dropped the slowdown fields entirely.
 func (r *ShardedResult) Aggregate() Aggregate {
 	var a Aggregate
-	jobs := 0
+	a.MinMBs = math.Inf(1)
+	jobs, slowdowns := 0, 0
 	for _, sh := range r.Shards {
-		sa := sh.Aggregate()
-		a.TotalMBs += sa.TotalMBs
-		if jobs == 0 || sa.MinMBs < a.MinMBs {
-			a.MinMBs = sa.MinMBs
+		for i := range sh.Jobs {
+			jr := &sh.Jobs[i]
+			bw := jr.WriteMBs()
+			a.TotalMBs += bw
+			a.MinMBs = math.Min(a.MinMBs, bw)
+			a.MaxMBs = math.Max(a.MaxMBs, bw)
+			if sd := jr.Slowdown; sd > 0 {
+				a.MeanSlowdown += sd
+				a.MaxSlowdown = math.Max(a.MaxSlowdown, sd)
+				slowdowns++
+			}
+			jobs++
 		}
-		if sa.MaxMBs > a.MaxMBs {
-			a.MaxMBs = sa.MaxMBs
-		}
-		jobs += len(sh.Jobs)
 	}
-	if jobs > 0 {
-		a.MeanMBs = a.TotalMBs / float64(jobs)
+	if jobs == 0 {
+		return Aggregate{}
+	}
+	a.MeanMBs = a.TotalMBs / float64(jobs)
+	if slowdowns > 0 {
+		a.MeanSlowdown /= float64(slowdowns)
 	}
 	return a
 }

@@ -1,9 +1,13 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"pfsim/internal/cluster"
 	"pfsim/internal/ior"
@@ -152,4 +156,163 @@ func TestRunShardedDeterministicForSeed(t *testing.T) {
 	if r1.Makespan == r3.Makespan {
 		t.Error("different seed produced identical makespan (suspicious)")
 	}
+}
+
+// TestShardedAggregateSkipsEmptyShards: a shard without jobs must not
+// contribute a zero-valued aggregate — an earlier revision let any empty
+// shard past the first drag the cross-shard MinMBs to 0 — and slowdown
+// statistics must aggregate across shards rather than being dropped.
+func TestShardedAggregateSkipsEmptyShards(t *testing.T) {
+	plat := cluster.Cab()
+	res, err := RunSharded(plat, shardScenarios(2, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Aggregate()
+	if want.MinMBs <= 0 {
+		t.Fatalf("baseline aggregate MinMBs = %v, want > 0", want.MinMBs)
+	}
+	// Splice an empty middle shard in; every bandwidth statistic must be
+	// unaffected.
+	res.Shards = []*Result{res.Shards[0], {}, res.Shards[1]}
+	got := res.Aggregate()
+	if got != want {
+		t.Errorf("empty middle shard changed the aggregate:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Slowdowns filled in on a subset of jobs aggregate like
+	// Result.Aggregate: mean over the jobs that have one, max over all.
+	res.Shards[0].Jobs[0].Slowdown = 2
+	res.Shards[2].Jobs[0].Slowdown = 4
+	got = res.Aggregate()
+	if got.MeanSlowdown != 3 || got.MaxSlowdown != 4 {
+		t.Errorf("slowdown aggregate = mean %v max %v, want mean 3 max 4",
+			got.MeanSlowdown, got.MaxSlowdown)
+	}
+	if (&ShardedResult{Shards: []*Result{{}, {}}}).Aggregate() != (Aggregate{}) {
+		t.Error("all-empty sharded result should aggregate to the zero value")
+	}
+}
+
+// TestRunShardedParallelSolverBitIdentical runs one sharded deployment
+// with the solver serial, at several worker counts, and in reference
+// mode: every job's trajectory and the deterministic work counters must
+// match bit for bit — parallelism may only change wall-clock time. The
+// population (4 shards x 128 flows) comfortably clears the solver's
+// fan-out floor, so the parallel path really runs.
+func TestRunShardedParallelSolverBitIdentical(t *testing.T) {
+	plat := cluster.Cab()
+	shards := shardScenarios(4, 64)
+	run := func(par int, reference bool) *ShardedResult {
+		res, err := RunShardedWith(plat, shards, RunOptions{Parallelism: par},
+			func(i int, sys *lustre.System) {
+				if i == 0 {
+					sys.Net().UseReferenceSolver(reference)
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1, false)
+	ref := run(1, true)
+	if math.Float64bits(serial.Makespan) != math.Float64bits(ref.Makespan) {
+		t.Fatalf("serial vs reference makespan diverged: %v vs %v", serial.Makespan, ref.Makespan)
+	}
+	for _, par := range []int{2, 8} {
+		got := run(par, false)
+		if math.Float64bits(got.Makespan) != math.Float64bits(serial.Makespan) {
+			t.Errorf("par=%d makespan %v, serial %v", par, got.Makespan, serial.Makespan)
+		}
+		for i := range got.Shards {
+			for j := range got.Shards[i].Jobs {
+				a, b := got.Shards[i].Jobs[j], serial.Shards[i].Jobs[j]
+				if math.Float64bits(a.FinishedAt) != math.Float64bits(b.FinishedAt) {
+					t.Errorf("par=%d shard %d job %d finish %v vs serial %v", par, i, j, a.FinishedAt, b.FinishedAt)
+				}
+				if math.Float64bits(a.WriteMBs()) != math.Float64bits(b.WriteMBs()) {
+					t.Errorf("par=%d shard %d job %d bandwidth %v vs serial %v", par, i, j, a.WriteMBs(), b.WriteMBs())
+				}
+			}
+		}
+		if got.Solver != serial.Solver {
+			t.Errorf("par=%d solver counters diverged:\npar    %+v\nserial %+v", par, got.Solver, serial.Solver)
+		}
+	}
+}
+
+// TestRunShardedContextCancelledMidRun: RunShardedWith is one long engine
+// execution, so a context cancelled mid-run must stop the engine at the
+// next event-count poll and surface ctx.Err(), not run the deployment to
+// completion. The cancel fires from an engine event, so the test is
+// fully deterministic.
+func TestRunShardedContextCancelledMidRun(t *testing.T) {
+	plat := cluster.Cab()
+	shards := shardScenarios(2, 16)
+	full, err := RunSharded(plat, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Makespan <= 2 {
+		t.Fatalf("scenario too short (%v s) to cancel mid-run", full.Makespan)
+	}
+	// A context already cancelled at launch stops the engine before it
+	// runs at all — no waiting for the first periodic check.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := RunShardedWith(plat, shards, RunOptions{Ctx: pre}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	goroutines := runtime.NumGoroutine()
+	var stoppedAt float64
+	res, err := RunShardedWith(plat, shards, RunOptions{Ctx: ctx},
+		func(i int, sys *lustre.System) {
+			if i == 0 {
+				sys.Engine().Schedule(1, func() {
+					cancel()
+					stoppedAt = sys.Engine().Now()
+				})
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a partial result")
+	}
+	if stoppedAt == 0 {
+		t.Error("cancel event never fired: engine did not reach t=1")
+	}
+	// The cancelled run's rank processes were parked mid-simulation;
+	// Engine.Drain must have unwound them all — no goroutine (pinning the
+	// whole engine and network) may outlive the call. Poll briefly: the
+	// runtime reaps exited goroutines asynchronously.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > goroutines {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled run leaked goroutines: %d before, %d after",
+				goroutines, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	// An uncancelled context must not perturb the run: the poll hook
+	// injects no events and touches no simulation state.
+	watched, err := RunShardedWith(plat, shards, RunOptions{Ctx: ctx2(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(watched.Makespan) != math.Float64bits(full.Makespan) {
+		t.Errorf("watcher perturbed the run: makespan %v vs %v", watched.Makespan, full.Makespan)
+	}
+}
+
+// ctx2 returns a cancellable (hence watched) context that stays live for
+// the duration of the test.
+func ctx2(t *testing.T) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	return ctx
 }

@@ -72,12 +72,14 @@ type ShardedResult = workload.ShardedResult
 
 // SolverShardedScenario is the sharded counterpart of
 // SolverStressScenario: the same file-per-process stress traffic split
-// across shards independent file systems under one engine and one solver
-// (writers per shard, 2 × writers flows each). It is the source for
-// `BenchmarkSolverSharded*`: the total flow population matches a
-// monolithic stress run of shards × writers ranks, but each shard is a
-// separate link-connectivity component, so the partitioned solver's
-// per-solve scan cost must track the shard size, not the population.
+// across `shards` independent file systems running under one engine and
+// one shared solver, with `writers` ranks (2 × writers flows) per shard.
+// It is the source for `BenchmarkSolverSharded*`: the total flow
+// population matches a monolithic stress run of shards × writers ranks,
+// but each shard is a separate link-connectivity component, so the
+// partitioned solver's per-solve scan cost must track the shard size,
+// not the population — and independent components are what the parallel
+// solve variants fan across workers.
 func SolverShardedScenario(writers, shards int) (*Platform, []Scenario) {
 	plat := Cab()
 	out := make([]Scenario, shards)
