@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenAll is the exact full-suite output over the fixture module: one
+// deliberate violation per analyzer plus a clean package, sorted by
+// file, line, column. Any drift is a real change in the suite's
+// findings, positions or message wording.
+const goldenAll = `internal/flow/flow.go:15:17: merge method "merge" does not touch field(s) HeapOps of flow.Stats; a field missing from the fold is silently dropped at parallelism > 1 or in shard aggregation — merge it, or annotate the field //pfsim:nomerge (statsmerge)
+internal/flow/flow.go:22:2: range over map loads iterates in nondeterministic order inside a sim-critical package; iterate sorted keys, or audit the loop as order-insensitive and annotate //pfsim:orderok (maporder)
+internal/flow/flow.go:27:6: time.Now reads or waits on the wall clock; simulated time must come from the engine's virtual clock in a sim-critical package; annotate //pfsim:wallclockok only for audited non-semantic uses (wallclock)
+internal/workload/w.go:15:18: aggregate function "Aggregate" does not touch field(s) MaxMBs of workload.Agg; a field missing from the fold is silently dropped at parallelism > 1 or in shard aggregation — merge it, or annotate the field //pfsim:nomerge (statsmerge)
+internal/workload/w.go:25:3: bare go statement outside internal/pool and internal/sim escapes Engine.Drain and pool ownership; use pool.Fan, or audit the spawn and annotate //pfsim:goroutineok (barego)
+`
+
+func TestLintGolden(t *testing.T) {
+	var b strings.Builder
+	findings, err := run(&b, "testdata/mod", "", false, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 5 {
+		t.Errorf("findings = %d, want 5 (one per analyzer plus both statsmerge shapes)", findings)
+	}
+	if b.String() != goldenAll {
+		t.Errorf("lint output drifted.\n--- got ---\n%s--- want ---\n%s", b.String(), goldenAll)
+	}
+}
+
+// TestLintRunSelection: -run restricts the suite; only the selected
+// analyzer's findings survive, format unchanged.
+func TestLintRunSelection(t *testing.T) {
+	var b strings.Builder
+	findings, err := run(&b, "testdata/mod", "maporder", false, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 1 {
+		t.Errorf("findings = %d, want 1", findings)
+	}
+	for _, want := range []string{"internal/flow/flow.go:22:2:", "(maporder)"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("selected output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestLintCleanPackage: a violation-free package yields no findings and
+// no output — the exit-0 contract CI relies on.
+func TestLintCleanPackage(t *testing.T) {
+	var b strings.Builder
+	findings, err := run(&b, "testdata/mod", "", false, []string{"./clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 0 || b.String() != "" {
+		t.Errorf("clean package produced findings=%d output=%q", findings, b.String())
+	}
+}
+
+func TestLintUnknownAnalyzer(t *testing.T) {
+	_, err := run(&strings.Builder{}, "testdata/mod", "maporder,nosuch", false, []string{"./..."})
+	if err == nil || !strings.Contains(err.Error(), "unknown analyzer(s): nosuch") {
+		t.Errorf("want unknown-analyzer error, got %v", err)
+	}
+}
+
+func TestLintList(t *testing.T) {
+	var b strings.Builder
+	if _, err := run(&b, ".", "", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("-list printed %d lines, want 4:\n%s", len(lines), b.String())
+	}
+	for i, name := range []string{"barego", "maporder", "statsmerge", "wallclock"} {
+		if !strings.HasPrefix(lines[i], name) {
+			t.Errorf("-list line %d = %q, want prefix %q", i, lines[i], name)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package flow carries one deliberate violation per clock/map rule so
+// the golden test pins pfsim-lint's output format and ordering.
+package flow
+
+import "time"
+
+// Stats is a counter set whose merge forgets a field.
+type Stats struct {
+	Solves  int64
+	Rounds  int64
+	HeapOps int64
+}
+
+// merge drops HeapOps.
+func (s *Stats) merge(o *Stats) {
+	s.Solves += o.Solves
+	s.Rounds += o.Rounds
+}
+
+func slowest(loads map[string]float64) string {
+	worst, at := 0.0, ""
+	for name, v := range loads {
+		if v > worst {
+			worst, at = v, name
+		}
+	}
+	_ = time.Now()
+	return at
+}

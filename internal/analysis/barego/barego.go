@@ -1,0 +1,56 @@
+// Package barego forbids bare `go` statements outside the two packages
+// that own concurrency: internal/pool (the deterministic fan-out
+// worker pool) and internal/sim (the engine's process machinery).
+//
+// Every goroutine in the simulator must be reachable by
+// Engine.Drain/cancellation or owned by pool.Fan's bounded workers;
+// PR 5's stop/cancel hardening exists precisely because stray
+// goroutines parked on channels pinned whole engine runs. A goroutine
+// spawned anywhere else — a cmd tool, an example, a future tuning
+// controller — escapes that machinery, so it must either go through
+// the pool or carry a //pfsim:goroutineok annotation recording the
+// audit (e.g. "joined before return, no sim state touched").
+package barego
+
+import (
+	"go/ast"
+	"strings"
+
+	"pfsim/internal/analysis/framework"
+)
+
+// Analyzer flags go statements outside the concurrency-owning packages.
+var Analyzer = &framework.Analyzer{
+	Name: "barego",
+	Doc:  "forbids bare go statements outside internal/pool and internal/sim; goroutines elsewhere escape Engine.Drain and pool ownership (suppress audited spawns with //pfsim:goroutineok)",
+	Run:  run,
+}
+
+// concurrencyOwners are the package-path tails allowed to spawn
+// goroutines directly.
+var concurrencyOwners = []string{"internal/pool", "internal/sim"}
+
+func run(pass *framework.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	for _, tail := range concurrencyOwners {
+		if path == tail || strings.HasSuffix(path, "/"+tail) {
+			return nil, nil
+		}
+	}
+	dirs := framework.NewDirectives(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if dirs.Has(gs.Pos(), "goroutineok") {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"bare go statement outside internal/pool and internal/sim escapes Engine.Drain and pool ownership; use pool.Fan, or audit the spawn and annotate //pfsim:goroutineok")
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+// Package pool owns concurrency: bare go statements are its job.
+package pool
+
+func fan(work []func()) {
+	done := make(chan struct{})
+	for _, w := range work {
+		w := w
+		go func() { // concurrency owner: legal
+			w()
+			done <- struct{}{}
+		}()
+	}
+	for range work {
+		<-done
+	}
+}

@@ -1,0 +1,19 @@
+// Package workload is a barego fixture: goroutines spawned outside the
+// pool/engine machinery are flagged unless audited.
+package workload
+
+func launch(jobs []func()) {
+	for _, j := range jobs {
+		go j() // want `bare go statement outside internal/pool and internal/sim`
+	}
+}
+
+func spawnAudited(j func()) chan struct{} {
+	done := make(chan struct{})
+	//pfsim:goroutineok — joined by the caller via done before any sim state is read
+	go func() {
+		j()
+		close(done)
+	}()
+	return done
+}

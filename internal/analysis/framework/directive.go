@@ -1,0 +1,84 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces every suppression/instruction comment the
+// lint suite understands: //pfsim:orderok, //pfsim:wallclockok,
+// //pfsim:goroutineok, //pfsim:mergeall T, //pfsim:nomerge. Like go:
+// directives they must be line comments with no space after the slashes.
+const directivePrefix = "//pfsim:"
+
+// Directives indexes every //pfsim: comment of a package by file and
+// line, so analyzers can answer "is this statement annotated?" without
+// rescanning comment lists per node.
+type Directives struct {
+	fset *token.FileSet
+	// byLine maps file name → line → directives on that line. A
+	// directive suppresses a node on its own line or on the line
+	// directly below it (the usual "comment above the statement" form).
+	byLine map[string]map[int][]string
+}
+
+// NewDirectives scans the files' comments for //pfsim: directives.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], text)
+			}
+		}
+	}
+	return d
+}
+
+// Has reports whether directive name (without the //pfsim: prefix)
+// annotates the node at pos: on the same line (trailing comment) or on
+// the line immediately above (leading comment).
+func (d *Directives) Has(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, text := range d.byLine[p.Filename][line] {
+			if text == name || strings.HasPrefix(text, name+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DocDirectives returns the arguments of every directive named name in
+// a declaration's doc comment group (nil cg is fine). A bare directive
+// contributes an empty-string argument.
+func DocDirectives(cg *ast.CommentGroup, name string) []string {
+	if cg == nil {
+		return nil
+	}
+	var args []string
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		if text == name {
+			args = append(args, "")
+		} else if rest, ok := strings.CutPrefix(text, name+" "); ok {
+			args = append(args, strings.TrimSpace(rest))
+		}
+	}
+	return args
+}

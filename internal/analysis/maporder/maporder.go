@@ -1,0 +1,59 @@
+// Package maporder flags `range` over a map in sim-critical packages.
+//
+// Go randomises map iteration order per range, so any map range whose
+// body can influence simulated state, event ordering or emitted
+// telemetry breaks the byte-identical determinism every result in this
+// repo depends on. That includes loops that "only" sum floats: float
+// addition is not associative, so even a commutative-looking
+// accumulation is order-sensitive in the last bits. The analyzer is
+// therefore conservative — every map range in a protected package is
+// flagged — and order-insensitive loops a human has audited (integer
+// counting, set membership, writes into another map under distinct
+// keys) carry a //pfsim:orderok annotation on or directly above the
+// range statement.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pfsim/internal/analysis/framework"
+)
+
+// Analyzer flags nondeterministic map iteration in sim-critical
+// packages.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flags range over a map in sim-critical packages; iteration order is nondeterministic and must not reach simulated state (suppress audited loops with //pfsim:orderok)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !framework.SimCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := framework.NewDirectives(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if dirs.Has(rs.Pos(), "orderok") {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s iterates in nondeterministic order inside a sim-critical package; iterate sorted keys, or audit the loop as order-insensitive and annotate //pfsim:orderok",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"pfsim/internal/analysis/analysistest"
+	"pfsim/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
+		"fixture/internal/flow", "fixture/other")
+}

@@ -1,0 +1,11 @@
+// Package other is outside the sim-critical set: map ranges here are
+// not the determinism linter's business.
+package other
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

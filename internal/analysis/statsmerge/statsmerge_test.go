@@ -1,0 +1,13 @@
+package statsmerge_test
+
+import (
+	"testing"
+
+	"pfsim/internal/analysis/analysistest"
+	"pfsim/internal/analysis/statsmerge"
+)
+
+func TestStatsMerge(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), statsmerge.Analyzer,
+		"fixture/internal/flow", "fixture/internal/workload", "fixture/other")
+}

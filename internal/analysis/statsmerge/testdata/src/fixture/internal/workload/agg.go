@@ -1,0 +1,59 @@
+// Package workload is a statsmerge fixture for the cross-package and
+// aggregate rules: folds of an imported counter struct and Aggregate
+// methods that summarise per-shard results.
+package workload
+
+import "fixture/internal/flow"
+
+// Agg summarises jobs across shards.
+type Agg struct {
+	MeanMBs      float64
+	MaxMBs       float64
+	MeanSlowdown float64
+}
+
+// Result is one shard's outcome.
+type Result struct{ mbs []float64 }
+
+// Aggregate drops MeanSlowdown — the exact PR 5 bug shape.
+func (r *Result) Aggregate() Agg { // want `aggregate function "Aggregate" does not touch field\(s\) MeanSlowdown of workload.Agg`
+	var a Agg
+	for _, v := range r.mbs {
+		a.MeanMBs += v
+		if v > a.MaxMBs {
+			a.MaxMBs = v
+		}
+	}
+	return a
+}
+
+// Sharded is many shards.
+type Sharded struct{ shards []*Result }
+
+// Aggregate via composite literal touches every field: clean.
+func (s *Sharded) Aggregate() Agg {
+	var mean, max, slow float64
+	for range s.shards {
+		mean, max, slow = mean+1, max+1, slow+1
+	}
+	return Agg{MeanMBs: mean, MaxMBs: max, MeanSlowdown: slow}
+}
+
+// foldStats accumulates an imported counter struct but forgets
+// HeapOps; flow's unexported scratch field is out of reach here and
+// must not be reported.
+//
+//pfsim:mergeall flow.Stats
+func foldStats(dst, src *flow.Stats) { // want `annotated fold "foldStats" does not touch field\(s\) HeapOps of flow.Stats`
+	dst.Solves += src.Solves
+	dst.Rounds += src.Rounds
+}
+
+// foldAll is the clean cross-package fold.
+//
+//pfsim:mergeall flow.Stats
+func foldAll(dst, src *flow.Stats) {
+	dst.Solves += src.Solves
+	dst.Rounds += src.Rounds
+	dst.HeapOps += src.HeapOps
+}

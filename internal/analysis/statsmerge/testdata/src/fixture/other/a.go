@@ -1,0 +1,22 @@
+// Package other is outside the sim-critical set: merge methods here
+// are not auto-checked, but an explicit //pfsim:mergeall annotation
+// still binds.
+package other
+
+type tally struct {
+	hits   int
+	misses int
+}
+
+// merge outside the critical set: not auto-checked even though it
+// forgets misses.
+func (t *tally) merge(o *tally) {
+	t.hits += o.hits
+}
+
+// foldTally opts in via the directive and is held to it.
+//
+//pfsim:mergeall tally
+func foldTally(dst, src *tally) { // want `annotated fold "foldTally" does not touch field\(s\) misses of other.tally`
+	dst.hits += src.hits
+}

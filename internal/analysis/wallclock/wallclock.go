@@ -1,0 +1,93 @@
+// Package wallclock forbids wall-clock time and globally-seeded
+// randomness in sim-critical packages.
+//
+// Simulation time advances only through the engine's virtual clock
+// (sim.Engine.Now), and every random draw comes from the seeded,
+// forkable RNG in internal/stats. A time.Now or global rand.Float64
+// smuggled into a protected package ties results to the host machine
+// and the run instant, silently breaking reproducibility. Explicitly
+// seeded sources stay legal: rand.New, rand.NewPCG and friends are how
+// internal/stats builds its deterministic generators.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pfsim/internal/analysis/framework"
+)
+
+// Analyzer flags wall-clock reads and global RNG use in sim-critical
+// packages.
+var Analyzer = &framework.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Sleep-style wall-clock access and globally-seeded math/rand in sim-critical packages; the virtual clock and the seeded RNG in internal/stats are the only legal sources (suppress audited uses with //pfsim:wallclockok)",
+	Run:  run,
+}
+
+// forbiddenTime lists the time package functions that read or wait on
+// the host clock. Pure-value helpers (time.Duration arithmetic,
+// time.Unix construction) stay legal.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !framework.SimCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := framework.NewDirectives(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			imported := pkgName.Imported().Path()
+			name := sel.Sel.Name
+			var why string
+			switch {
+			case imported == "time" && forbiddenTime[name]:
+				why = "reads or waits on the wall clock; simulated time must come from the engine's virtual clock"
+			case (imported == "math/rand" || imported == "math/rand/v2") && isGlobalRandFunc(pass, sel):
+				why = "draws from the globally-seeded RNG; use the seeded RNG in internal/stats (explicit rand.New/NewPCG sources are fine)"
+			default:
+				return true
+			}
+			if dirs.Has(sel.Pos(), "wallclockok") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s %s in a sim-critical package; annotate //pfsim:wallclockok only for audited non-semantic uses",
+				imported, name, why)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isGlobalRandFunc reports whether the selector names a package-level
+// math/rand function that draws from the shared global source. The
+// New* constructors (rand.New, rand.NewSource, rand.NewPCG,
+// rand.NewChaCha8, rand.NewZipf) build explicitly seeded generators
+// and are allowed; type names (rand.Rand) are not functions at all.
+func isGlobalRandFunc(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return !strings.HasPrefix(fn.Name(), "New")
+}

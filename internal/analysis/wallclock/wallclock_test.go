@@ -1,0 +1,13 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"pfsim/internal/analysis/analysistest"
+	"pfsim/internal/analysis/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer,
+		"fixture/internal/sim", "fixture/other")
+}

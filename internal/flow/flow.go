@@ -1609,6 +1609,9 @@ func (n *Net) CheckInvariants() error {
 		n.Recompute()
 	}
 	now := n.eng.Now()
+	// loads is order-safe as long as it is never ranged: it is filled in
+	// admission order and read only by direct indexing from the n.links
+	// slice loop below (maporder would flag any future range over it).
 	loads := make(map[*Link]float64)
 	live := 0
 	for _, f := range n.activeFlows {

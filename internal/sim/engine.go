@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Event is a scheduled callback. It can be cancelled before it fires.
@@ -209,9 +210,11 @@ func (e *Engine) RunUntil(tmax float64) error {
 	}
 	if len(e.blocked) > 0 {
 		names := make([]string, 0, len(e.blocked))
+		//pfsim:orderok — names are sorted below before they reach the error
 		for _, n := range e.blocked {
 			names = append(names, n)
 		}
+		sort.Strings(names)
 		return fmt.Errorf("sim: deadlock at t=%.6f: %d blocked process(es): %v",
 			e.now, len(e.blocked), names)
 	}

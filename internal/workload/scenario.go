@@ -541,17 +541,25 @@ func (r *Result) SoloConfigs() []ior.Config {
 // by running SoloConfigs; the map key is the baseline's config as
 // returned by SoloConfigs.
 func (r *Result) ApplySolo(baselines map[ior.Config]*ior.Result) {
+	// Re-index by shape key so each job does one deterministic lookup.
+	// SoloConfigs emits one config per distinct soloKey, so the writes
+	// land under distinct keys and the index is independent of the
+	// iteration order (an earlier revision scanned the map per job,
+	// picking a map-order-dependent winner on duplicate shapes).
+	bySolo := make(map[ior.Config]*ior.Result, len(baselines))
+	//pfsim:orderok — distinct-key re-index; contents independent of order
+	for cfg, base := range baselines {
+		bySolo[soloKey(cfg)] = base
+	}
 	for i := range r.Jobs {
 		jr := &r.Jobs[i]
-		for cfg, base := range baselines {
-			if soloKey(cfg) != soloKey(jr.Config) {
-				continue
-			}
-			jr.SoloMBs = base.Write.Mean()
-			if bw := jr.WriteMBs(); bw > 0 {
-				jr.Slowdown = jr.SoloMBs / bw
-			}
-			break
+		base, ok := bySolo[soloKey(jr.Config)]
+		if !ok {
+			continue
+		}
+		jr.SoloMBs = base.Write.Mean()
+		if bw := jr.WriteMBs(); bw > 0 {
+			jr.Slowdown = jr.SoloMBs / bw
 		}
 	}
 }
