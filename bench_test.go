@@ -295,6 +295,7 @@ func benchSolver(b *testing.B, ranks int) {
 		{"reference", true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			plat, sc := SolverStressScenario(ranks)
 			var stats flow.Stats
 			for i := 0; i < b.N; i++ {
@@ -344,6 +345,7 @@ func BenchmarkSolverSharded4096x16(b *testing.B) {
 		{"reference", true, 1},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			plat, scs := SolverShardedScenario(writers, shards)
 			var stats flow.Stats
 			for i := 0; i < b.N; i++ {

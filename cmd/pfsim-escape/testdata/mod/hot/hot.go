@@ -1,0 +1,29 @@
+// Package hot carries one unannotated heap escape inside a hot region,
+// one annotated escape, and one cold escape, so the canned-diagnostic
+// tests pin pfsim-escape's matching and suppression.
+package hot
+
+// Records is the fixture's reused pool.
+var Records []*Record
+
+// Record is the pooled record type.
+type Record struct{ N int }
+
+// Grow is the fixture's hot entry point.
+//
+//pfsim:hotpath
+func Grow(n int) *Record {
+	r := &Record{N: n}
+	ok := &Record{N: n + 1} //pfsim:allocok audited pool fill
+	Records = append(Records, ok)
+	fill(r)
+	return r
+}
+
+// fill is reached from Grow: its escapes are hot too.
+func fill(r *Record) {
+	r.N++
+}
+
+// Cold allocates off the hot path: never flagged.
+func Cold(n int) *Record { return &Record{N: n} }

@@ -24,15 +24,17 @@ import (
 
 	"pfsim/internal/analysis/barego"
 	"pfsim/internal/analysis/framework"
+	"pfsim/internal/analysis/hotalloc"
 	"pfsim/internal/analysis/maporder"
 	"pfsim/internal/analysis/statsmerge"
 	"pfsim/internal/analysis/wallclock"
 )
 
-// suite is the full determinism suite, sorted by name; -run selects a
-// subset.
+// suite is the full lint suite (determinism plus allocation
+// discipline), sorted by name; -run selects a subset.
 var suite = []*framework.Analyzer{
 	barego.Analyzer,
+	hotalloc.Analyzer,
 	maporder.Analyzer,
 	statsmerge.Analyzer,
 	wallclock.Analyzer,
@@ -102,7 +104,9 @@ func selectAnalyzers(runList string) ([]*framework.Analyzer, error) {
 	}
 	wanted := map[string]bool{}
 	for _, name := range strings.Split(runList, ",") {
-		wanted[strings.TrimSpace(name)] = true
+		if name = strings.TrimSpace(name); name != "" {
+			wanted[name] = true
+		}
 	}
 	var out []*framework.Analyzer
 	for _, a := range suite {
@@ -112,12 +116,21 @@ func selectAnalyzers(runList string) ([]*framework.Analyzer, error) {
 		}
 	}
 	if len(wanted) > 0 {
-		var unknown []string
+		// A typo in a CI config must fail loudly (exit 2) and name the
+		// valid choices, never silently run a reduced suite.
+		var unknown, valid []string
 		for name := range wanted {
 			unknown = append(unknown, name)
 		}
 		sort.Strings(unknown)
-		return nil, fmt.Errorf("unknown analyzer(s): %s (use -list)", strings.Join(unknown, ", "))
+		for _, a := range suite {
+			valid = append(valid, a.Name)
+		}
+		return nil, fmt.Errorf("unknown analyzer(s): %s; valid analyzers: %s",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers (use -list)")
 	}
 	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 const goldenAll = `internal/flow/flow.go:15:17: merge method "merge" does not touch field(s) HeapOps of flow.Stats; a field missing from the fold is silently dropped at parallelism > 1 or in shard aggregation — merge it, or annotate the field //pfsim:nomerge (statsmerge)
 internal/flow/flow.go:22:2: range over map loads iterates in nondeterministic order inside a sim-critical package; iterate sorted keys, or audit the loop as order-insensitive and annotate //pfsim:orderok (maporder)
 internal/flow/flow.go:27:6: time.Now reads or waits on the wall clock; simulated time must come from the engine's virtual clock in a sim-critical package; annotate //pfsim:wallclockok only for audited non-semantic uses (wallclock)
+internal/flow/flow.go:36:9: make allocates on the hot path (reached from //pfsim:hotpath solveRound); preallocate or reuse scratch, or annotate //pfsim:allocok <why> (hotalloc)
 internal/workload/w.go:15:18: aggregate function "Aggregate" does not touch field(s) MaxMBs of workload.Agg; a field missing from the fold is silently dropped at parallelism > 1 or in shard aggregation — merge it, or annotate the field //pfsim:nomerge (statsmerge)
 internal/workload/w.go:25:3: bare go statement outside internal/pool and internal/sim escapes Engine.Drain and pool ownership; use pool.Fan, or audit the spawn and annotate //pfsim:goroutineok (barego)
 `
@@ -22,8 +23,8 @@ func TestLintGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if findings != 5 {
-		t.Errorf("findings = %d, want 5 (one per analyzer plus both statsmerge shapes)", findings)
+	if findings != 6 {
+		t.Errorf("findings = %d, want 6 (one per analyzer plus both statsmerge shapes)", findings)
 	}
 	if b.String() != goldenAll {
 		t.Errorf("lint output drifted.\n--- got ---\n%s--- want ---\n%s", b.String(), goldenAll)
@@ -61,10 +62,23 @@ func TestLintCleanPackage(t *testing.T) {
 	}
 }
 
+// TestLintUnknownAnalyzer: a typo in -run must error (main exits 2)
+// with the exact valid-name list, never silently run a reduced suite —
+// the message is golden so CI configs get a copy-pasteable fix.
 func TestLintUnknownAnalyzer(t *testing.T) {
 	_, err := run(&strings.Builder{}, "testdata/mod", "maporder,nosuch", false, []string{"./..."})
-	if err == nil || !strings.Contains(err.Error(), "unknown analyzer(s): nosuch") {
-		t.Errorf("want unknown-analyzer error, got %v", err)
+	const want = "unknown analyzer(s): nosuch; valid analyzers: barego, hotalloc, maporder, statsmerge, wallclock"
+	if err == nil || err.Error() != want {
+		t.Errorf("unknown-analyzer error = %v, want %q", err, want)
+	}
+}
+
+// TestLintEmptyRunList: -run with only separators selects nothing and
+// must error rather than lint zero analyzers and exit 0.
+func TestLintEmptyRunList(t *testing.T) {
+	_, err := run(&strings.Builder{}, "testdata/mod", " , ", false, []string{"./..."})
+	if err == nil || !strings.Contains(err.Error(), "selected no analyzers") {
+		t.Errorf("want no-analyzers error, got %v", err)
 	}
 }
 
@@ -74,10 +88,10 @@ func TestLintList(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("-list printed %d lines, want 4:\n%s", len(lines), b.String())
+	if len(lines) != 5 {
+		t.Fatalf("-list printed %d lines, want 5:\n%s", len(lines), b.String())
 	}
-	for i, name := range []string{"barego", "maporder", "statsmerge", "wallclock"} {
+	for i, name := range []string{"barego", "hotalloc", "maporder", "statsmerge", "wallclock"} {
 		if !strings.HasPrefix(lines[i], name) {
 			t.Errorf("-list line %d = %q, want prefix %q", i, lines[i], name)
 		}

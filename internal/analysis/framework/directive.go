@@ -51,8 +51,15 @@ func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 // the line immediately above (leading comment).
 func (d *Directives) Has(pos token.Pos, name string) bool {
 	p := d.fset.Position(pos)
-	for _, line := range [2]int{p.Line, p.Line - 1} {
-		for _, text := range d.byLine[p.Filename][line] {
+	return d.HasAt(p.Filename, p.Line, name)
+}
+
+// HasAt is Has for callers holding a plain file/line position instead
+// of a token.Pos — the escape cross-checker matches compiler
+// diagnostics, which arrive as file:line:col text.
+func (d *Directives) HasAt(filename string, line int, name string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		for _, text := range d.byLine[filename][l] {
 			if text == name || strings.HasPrefix(text, name+" ") {
 				return true
 			}

@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"pfsim/internal/analysis/analysistest"
+	"pfsim/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer,
+		"fixture/basic", "fixture/iface", "fixture/fan", "fixture/directives")
+}

@@ -1,0 +1,57 @@
+// Package basic exercises every allocating construct hotalloc flags,
+// plus the three exemptions: //pfsim:allocok line directives, doc-level
+// pruning, and panic arguments.
+package basic
+
+import "fmt"
+
+var scratch []int
+
+type record struct{ n int }
+
+func sink(v any) { _ = v }
+
+// Flush is the fixture's hot entry point.
+//
+//pfsim:hotpath
+func Flush(n int) string {
+	buf := make([]int, n)           // want `make allocates`
+	p := new(int)                   // want `new allocates`
+	scratch = append(scratch, n)    // want `append may grow its backing array`
+	pairs := []int{n, n}            // want `composite literal allocates its backing store`
+	rec := &record{n: n}            // want `composite literal allocates`
+	name := "flow-" + fmt.Sprint(n) // want `string concatenation allocates` `fmt call allocates`
+	sink(record{n: n})              // want `passing a concrete value to an interface parameter boxes`
+	sink(rec)                       // pointer: boxing-exempt
+	if n < 0 {
+		// Crash-path allocations are free: nothing below is flagged.
+		panic(fmt.Sprintf("basic: bad n %d (%v)", n, pairs))
+	}
+	grow(n)
+	audited(n)
+	*p = len(buf)
+	return name
+}
+
+// grow is reached from Flush, so its allocations are hot too; the
+// second append carries an audited suppression.
+func grow(n int) {
+	scratch = append(scratch, n) // want `append may grow its backing array on the hot path \(reached from //pfsim:hotpath Flush\)`
+	scratch = append(scratch, n) //pfsim:allocok audited warm-up growth of reused scratch
+}
+
+// audited is pruned from the closure wholesale — the cold-error-path
+// escape hatch.
+//
+//pfsim:allocok cold reporting path, runs once per failure
+func audited(n int) {
+	_ = fmt.Sprintf("audited %d", n)
+}
+
+// cold is not reachable from any hot root: untouched.
+func cold() {
+	scratch = append(scratch, 1)
+	_ = fmt.Sprintln("cold")
+}
+
+var _ = cold

@@ -1,0 +1,49 @@
+// Package directives exercises directive placement on methods versus
+// functions: a //pfsim:hotpath doc directive roots a method exactly
+// like a function, a //pfsim:allocok doc directive prunes a method and
+// everything only it reaches, and a bound-method value is itself a
+// closure allocation.
+package directives
+
+// Engine is the fixture's stand-in for the simulator engine.
+type Engine struct {
+	buf  []int
+	hook func()
+}
+
+// Tick is a hot method root (the directive sits on a method's doc
+// comment, not a function's).
+//
+//pfsim:hotpath
+func (e *Engine) Tick() {
+	e.buf = append(e.buf, 1) // want `append may grow its backing array on the hot path \(reached from //pfsim:hotpath Engine.Tick\)`
+	e.report()
+	e.install()
+}
+
+// report is audited cold: the doc-level directive prunes the method —
+// and everything only it reaches — from the closure.
+//
+//pfsim:allocok audited cold reporting path
+func (e *Engine) report() {
+	e.buf = append(e.buf, len(e.buf))
+	e.deep()
+}
+
+// deep is reached only through the pruned method: untouched.
+func (e *Engine) deep() {
+	e.buf = make([]int, 8)
+}
+
+// install caches a bound-method closure — the method value allocates.
+func (e *Engine) install() {
+	e.hook = e.flush // want `method value allocates a closure`
+}
+
+func (e *Engine) flush() {}
+
+// Reset is an ordinary cold method: allocations outside the closure
+// are not the analyzer's business.
+func (e *Engine) Reset() {
+	e.buf = make([]int, 0, 16)
+}

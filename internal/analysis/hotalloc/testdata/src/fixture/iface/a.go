@@ -1,0 +1,57 @@
+// Package iface exercises the call graph's two indirect-edge kinds:
+// interface dispatch (a call through an interface-typed receiver
+// reaches every in-package implementation) and method sets (handing a
+// concrete value to an interface parameter makes its methods hot even
+// if no call is visible).
+package iface
+
+// Model is dispatched through an interface on the hot path.
+type Model interface{ Capacity(streams int) float64 }
+
+// Flat is a clean implementation: in the closure, nothing to report.
+type Flat float64
+
+// Capacity implements Model without allocating.
+func (f Flat) Capacity(int) float64 { return float64(f) }
+
+// Wobbly keeps a history — allocating on every call.
+type Wobbly struct{ hist []float64 }
+
+// Capacity implements Model, badly.
+func (w *Wobbly) Capacity(streams int) float64 {
+	w.hist = append(w.hist, float64(streams)) // want `append may grow its backing array on the hot path \(reached from //pfsim:hotpath Solve\)`
+	return 1
+}
+
+// Solve dispatches through the interface: every in-package
+// implementation joins the closure.
+//
+//pfsim:hotpath
+func Solve(ms []Model) float64 {
+	t := 0.0
+	for _, m := range ms {
+		t += m.Capacity(3)
+	}
+	return t
+}
+
+// runner/exec model the method-set edge: exec never visibly calls
+// run, but handing it a concrete *job makes (*job).run reachable.
+type runner interface{ run() }
+
+var pending runner
+
+func exec(r runner) { pending = r }
+
+type job struct{ out []int }
+
+func (j *job) run() {
+	j.out = append(j.out, 1) // want `append may grow its backing array on the hot path \(reached from //pfsim:hotpath Dispatch\)`
+}
+
+// Dispatch hands a concrete value to an interface parameter.
+//
+//pfsim:hotpath
+func Dispatch(j *job) {
+	exec(j)
+}

@@ -1,0 +1,104 @@
+package flow
+
+import (
+	"testing"
+
+	"pfsim/internal/sim"
+)
+
+// allocNet builds a warmed net: nLinks disjoint single-link components,
+// one long-running flow each (sizes far beyond the test horizon, so the
+// steady state is pure re-solve/commit/reschedule with no completions),
+// plus enough model toggles to grow every scratch slice and the event
+// pool to their steady capacity.
+func allocNet(par int, nLinks int) (*sim.Engine, *Net, []*Link) {
+	eng := sim.NewEngine()
+	n := NewNet(eng)
+	if par > 1 {
+		n.SetSolveParallelism(par)
+		n.parFloor = 0
+	}
+	links := make([]*Link, nLinks)
+	for i := range links {
+		links[i] = n.NewLink("l"+string(rune('a'+i)), Const(100))
+	}
+	for i, l := range links {
+		n.Start("f"+string(rune('a'+i)), 1e12, 80, l)
+	}
+	fast, slow := CapacityModel(Const(100)), CapacityModel(Const(60))
+	for i := 0; i < 16; i++ {
+		m := fast
+		if i%2 == 0 {
+			m = slow
+		}
+		for _, l := range links {
+			l.SetModel(m)
+		}
+		if err := eng.RunUntil(eng.Now()); err != nil {
+			panic(err)
+		}
+	}
+	return eng, n, links
+}
+
+// TestSolverSteadyStateAllocs pins the hot-path discipline end to end:
+// after warm-up, a model-shift -> flush -> re-solve -> commit ->
+// reschedule cycle must not touch the heap allocator at all on the
+// serial path. This is the runtime counterpart of the hotalloc lint and
+// the pfsim-escape compiler cross-check.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	eng, _, links := allocNet(1, 4)
+	fast, slow := CapacityModel(Const(100)), CapacityModel(Const(60))
+	cur := fast
+	allocs := testing.AllocsPerRun(200, func() {
+		if cur == fast {
+			cur = slow
+		} else {
+			cur = fast
+		}
+		for _, l := range links {
+			l.SetModel(cur)
+		}
+		if err := eng.RunUntil(eng.Now()); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial steady-state solve allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSolverSteadyStateAllocsParallel documents the parallel fan's
+// fixed per-flush floor: one fan-out closure plus pool.Fan's per-call
+// machinery (WaitGroup, shared atomic cursor, one spawn closure and
+// goroutine per worker). The floor is independent of flow population —
+// it must not scale with load — and is annotated //pfsim:allocok at the
+// source level for the same reason it is tolerated here.
+func TestSolverSteadyStateAllocsParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	eng, _, links := allocNet(4, 4)
+	fast, slow := CapacityModel(Const(100)), CapacityModel(Const(60))
+	cur := fast
+	allocs := testing.AllocsPerRun(200, func() {
+		if cur == fast {
+			cur = slow
+		} else {
+			cur = fast
+		}
+		for _, l := range links {
+			l.SetModel(cur)
+		}
+		if err := eng.RunUntil(eng.Now()); err != nil {
+			panic(err)
+		}
+	})
+	const parallelFanFloor = 16
+	if allocs > parallelFanFloor {
+		t.Errorf("parallel steady-state solve allocated %.1f allocs/op, want <= %d (the fan's fixed floor)", allocs, parallelFanFloor)
+	}
+}

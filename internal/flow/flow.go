@@ -79,7 +79,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 	"sync/atomic"
 
 	"pfsim/internal/pool"
@@ -356,6 +355,13 @@ type Net struct {
 	observer  Observer
 	reference bool // solve eagerly with full link scans (oracle mode)
 
+	// flushFn and completionFn are the bound-method closures for flushWork
+	// and onCompletion, built once in NewNet: the solver schedules them
+	// every instant, and a per-schedule method value would put one closure
+	// allocation on the zero-alloc steady-state path.
+	flushFn      func()
+	completionFn func()
+
 	// Per-solve state lives in solveCtx values, one per solver worker;
 	// ctxs[0] is the serial path's context. par is the configured worker
 	// count (see SetSolveParallelism); parFloor gates the fan-out by the
@@ -370,6 +376,7 @@ type Net struct {
 
 	completions compHeap    // active flows ordered by (due, seq); incremental mode only
 	dueChanged  []dueChange // completion keys moved by the in-progress flush
+	doneScratch []*Flow     // onCompletion's batch scratch, reused across instants
 	flowSeq     int64       // admission counter feeding Flow.seq
 }
 
@@ -436,7 +443,7 @@ func (h compHeap) Swap(i, j int) {
 func (h *compHeap) Push(x any) {
 	f := x.(*Flow)
 	f.heapIdx = len(*h)
-	*h = append(*h, f)
+	*h = append(*h, f) //pfsim:allocok heap growth is bounded by the peak active-flow population, then reuses capacity
 }
 func (h *compHeap) Pop() any {
 	old := *h
@@ -453,13 +460,16 @@ func (n *Net) Observe(o Observer) { n.observer = o }
 
 // NewNet creates an empty network on eng.
 func NewNet(eng *sim.Engine) *Net {
-	return &Net{
+	n := &Net{
 		eng:       eng,
 		linkNames: map[string]bool{},
 		par:       1,
 		parFloor:  defaultParFloor,
 		ctxs:      []*solveCtx{{}},
 	}
+	n.flushFn = n.flushWork
+	n.completionFn = n.onCompletion
+	return n
 }
 
 // Engine returns the engine the network is bound to.
@@ -759,7 +769,7 @@ func (n *Net) markDirty(c *component) {
 func (n *Net) queueWork(c *component) {
 	if !c.queued {
 		c.queued = true
-		n.work = append(n.work, c)
+		n.work = append(n.work, c) //pfsim:allocok work queue grows to the peak dirty-component count, then reuses capacity
 	}
 	if n.dirtyEv != nil {
 		if !n.reference {
@@ -767,13 +777,15 @@ func (n *Net) queueWork(c *component) {
 		}
 		return
 	}
-	n.dirtyEv = n.eng.Schedule(0, n.flushWork)
+	n.dirtyEv = n.eng.Schedule(0, n.flushFn)
 }
 
 // flushWork is the coalesced per-instant flush: split components that lost
 // flows, re-solve every dirty component (incremental mode; reference mode
 // solved eagerly at each change), commit the accounting against the
 // instant's final rates, then reschedule the completion event.
+//
+//pfsim:hotpath
 func (n *Net) flushWork() {
 	n.dirtyEv = nil
 	n.flushRebuilds()
@@ -796,7 +808,7 @@ func (n *Net) flushWork() {
 			continue
 		}
 		c.dirty = false
-		solved = append(solved, c)
+		solved = append(solved, c) //pfsim:allocok solved scratch grows to the peak dirty-component count, then reuses capacity
 	}
 	n.work = n.work[:0]
 	n.solveAll(solved)
@@ -844,9 +856,10 @@ func (n *Net) solveAll(cs []*component) {
 		}
 	} else {
 		for len(n.ctxs) < par {
-			n.ctxs = append(n.ctxs, &solveCtx{})
+			n.ctxs = append(n.ctxs, &solveCtx{}) //pfsim:allocok one ctx per worker, allocated once on the first parallel flush
 		}
 		ctxs := n.ctxs
+		//pfsim:allocok parallel fan-out closure: the fan path's per-flush floor; the serial path stays allocation-free
 		pool.Fan(par, len(cs), func(worker, i int) {
 			n.solveComponent(ctxs[worker], cs[i])
 		})
@@ -890,7 +903,7 @@ func (n *Net) commit(f *Flow) {
 		f.due = due
 		return
 	}
-	n.dueChanged = append(n.dueChanged, dueChange{f, due})
+	n.dueChanged = append(n.dueChanged, dueChange{f, due}) //pfsim:allocok staged re-key list grows to the peak per-flush churn, then reuses capacity
 }
 
 // flushRebuilds recomputes connectivity for every queued component that
@@ -912,6 +925,8 @@ func (n *Net) flushRebuilds() {
 // construction — a retired flow freed capacity on its links, and (by
 // connectivity of the original component) every surviving class contains
 // at least one such link.
+//
+//pfsim:allocok connectivity rebuilds run on flow retirement, amortised over the retired flow's lifetime — not steady-state work
 func (n *Net) rebuildComponent(c *component) {
 	c.rebuild = false
 	c.dirty = false
@@ -966,6 +981,8 @@ func (n *Net) rebuildComponent(c *component) {
 }
 
 // newDirtyChild allocates a rebuilt component, pre-queued and dirty.
+//
+//pfsim:allocok component records are born on rebuilds, which retirement pays for — not steady-state work
 func (n *Net) newDirtyChild() *component {
 	child := &component{dirty: true, queued: true}
 	n.addComp(child)
@@ -1095,6 +1112,8 @@ func (n *Net) Recompute() {
 // inc-vs-ref property tests. All mutable state is the component's own,
 // the ctx's own, or the atomic epoch counter, so distinct components may
 // solve on concurrent workers (solveAll).
+//
+//pfsim:hotpath
 func (n *Net) solveComponent(ctx *solveCtx, c *component) {
 	ctx.epoch = n.solveEpoch.Add(1)
 	links := c.links
@@ -1110,7 +1129,7 @@ func (n *Net) solveComponent(ctx *solveCtx, c *component) {
 		if f.finished {
 			continue
 		}
-		unfixed = append(unfixed, f)
+		unfixed = append(unfixed, f) //pfsim:allocok unfixed scratch grows to the peak component population, then reuses capacity
 		for _, l := range f.path {
 			l.unfixed++
 		}
@@ -1145,7 +1164,7 @@ func (n *Net) solveComponent(ctx *solveCtx, c *component) {
 			for i, f := range unfixed {
 				r := f.maxRate
 				if r <= 0 {
-					panic("flow: unconstrained flow in rate assignment")
+					panic("flow: unconstrained flow in rate assignment") //pfsim:allocok crash path: the boxed panic message never allocates on a live run
 				}
 				fixFlow(f, r, ctx.epoch)
 				unfixed[i] = nil
@@ -1165,7 +1184,7 @@ func (n *Net) solveComponent(ctx *solveCtx, c *component) {
 			}
 			if res/float64(l.unfixed) <= minShare*(1+1e-12)+1e-15 {
 				l.saturated = true
-				sat = append(sat, l)
+				sat = append(sat, l) //pfsim:allocok saturated-link scratch grows to the peak link count, then reuses capacity
 			}
 		}
 		progressed := false
@@ -1187,7 +1206,7 @@ func (n *Net) solveComponent(ctx *solveCtx, c *component) {
 		}
 		sat = sat[:0]
 		if !progressed {
-			panic("flow: progressive filling made no progress")
+			panic("flow: progressive filling made no progress") //pfsim:allocok crash path: the boxed panic message never allocates on a live run
 		}
 		unfixed = compactUnfixed(unfixed, ctx.epoch)
 	}
@@ -1206,20 +1225,17 @@ func (n *Net) solveComponent(ctx *solveCtx, c *component) {
 // the residual subtraction order — and with it the last ulps of later
 // shares — depend on the round structure. It reports whether any flow was
 // fixed.
+//
+//pfsim:hotpath
 func fixCapped(ctx *solveCtx, unfixed []*Flow, minShare float64) bool {
 	capped := ctx.capped[:0]
 	for _, f := range unfixed {
 		if f.maxRate > 0 && f.maxRate <= minShare {
-			capped = append(capped, f)
+			capped = append(capped, f) //pfsim:allocok capped scratch grows to the peak capped population, then reuses capacity
 		}
 	}
 	if len(capped) > 0 {
-		sort.Slice(capped, func(i, j int) bool {
-			if capped[i].maxRate != capped[j].maxRate {
-				return capped[i].maxRate < capped[j].maxRate
-			}
-			return capped[i].seq < capped[j].seq
-		})
+		sortCapped(capped)
 		for _, f := range capped {
 			fixFlow(f, f.maxRate, ctx.epoch)
 		}
@@ -1230,6 +1246,25 @@ func fixCapped(ctx *solveCtx, unfixed []*Flow, minShare float64) bool {
 	}
 	ctx.capped = capped[:0]
 	return fixed
+}
+
+// sortCapped orders a round's capped batch by ascending (maxRate, seq) —
+// a strict total order (seq is unique), so the result is identical to any
+// other correct sort of the same keys. An in-place insertion sort replaces
+// sort.Slice here because the latter allocates its comparison closure (and
+// boxes the interface header) on every call, and fixCapped runs once per
+// solver round on the zero-alloc steady-state path; capped batches are
+// small (often 0–2 flows), where insertion sort also wins on time.
+func sortCapped(fs []*Flow) {
+	for i := 1; i < len(fs); i++ {
+		f := fs[i]
+		j := i - 1
+		for j >= 0 && (fs[j].maxRate > f.maxRate || (fs[j].maxRate == f.maxRate && fs[j].seq > f.seq)) {
+			fs[j+1] = fs[j]
+			j--
+		}
+		fs[j+1] = f
+	}
 }
 
 // assignRatesReference is the naive progressive-filling pass, preserved as
@@ -1287,15 +1322,10 @@ func (n *Net) assignRatesReference() {
 			if f.finished || f.fixedEpoch == epoch || f.maxRate <= 0 || f.maxRate > minShare {
 				continue
 			}
-			capped = append(capped, f)
+			capped = append(capped, f) //pfsim:allocok capped scratch grows to the peak capped population, then reuses capacity
 		}
 		if len(capped) > 0 {
-			sort.Slice(capped, func(i, j int) bool {
-				if capped[i].maxRate != capped[j].maxRate {
-					return capped[i].maxRate < capped[j].maxRate
-				}
-				return capped[i].seq < capped[j].seq
-			})
+			sortCapped(capped)
 			for _, f := range capped {
 				fixFlow(f, f.maxRate, epoch)
 				unfixedCount--
@@ -1316,7 +1346,7 @@ func (n *Net) assignRatesReference() {
 				}
 				r := f.maxRate
 				if r <= 0 {
-					panic("flow: unconstrained flow in rate assignment")
+					panic("flow: unconstrained flow in rate assignment") //pfsim:allocok crash path: the boxed panic message never allocates on a live run
 				}
 				fixFlow(f, r, epoch)
 				unfixedCount--
@@ -1336,7 +1366,7 @@ func (n *Net) assignRatesReference() {
 			}
 			if res/float64(l.unfixed) <= minShare*(1+1e-12)+1e-15 {
 				l.saturated = true
-				sat = append(sat, l)
+				sat = append(sat, l) //pfsim:allocok saturated-link scratch grows to the peak link count, then reuses capacity
 			}
 		}
 		progressed := false
@@ -1362,7 +1392,7 @@ func (n *Net) assignRatesReference() {
 		}
 		sat = sat[:0]
 		if !progressed {
-			panic("flow: progressive filling made no progress")
+			panic("flow: progressive filling made no progress") //pfsim:allocok crash path: the boxed panic message never allocates on a live run
 		}
 	}
 	ctx.sat = sat[:0]
@@ -1433,7 +1463,7 @@ func (n *Net) scheduleNext() {
 		if math.IsInf(at, 1) {
 			return
 		}
-		n.nextEv = n.eng.ScheduleAt(at, n.onCompletion)
+		n.nextEv = n.eng.ScheduleAt(at, n.completionFn)
 		return
 	}
 	if k := len(n.dueChanged); k > 0 {
@@ -1468,7 +1498,7 @@ func (n *Net) scheduleNext() {
 	// residual arithmetic — could diverge.
 	at := n.completions[0].due
 	if !n.eng.Reschedule(n.nextEv, at) {
-		n.nextEv = n.eng.ScheduleAt(at, n.onCompletion)
+		n.nextEv = n.eng.ScheduleAt(at, n.completionFn)
 	}
 }
 
@@ -1476,14 +1506,16 @@ func (n *Net) scheduleNext() {
 // (batching simultaneous completions, in admission order), fires their
 // Done signals, and requests a recompute for the touched components —
 // coalesced with any same-instant arrivals the completions trigger.
+//
+//pfsim:hotpath
 func (n *Net) onCompletion() {
 	n.nextEv = nil
 	now := n.eng.Now()
-	var done []*Flow
+	done := n.doneScratch[:0]
 	if n.reference {
 		for _, f := range n.activeFlows {
 			if !f.finished && f.due <= now {
-				done = append(done, f)
+				done = append(done, f) //pfsim:allocok completion-batch scratch grows to the peak batch, then reuses capacity
 			}
 		}
 	} else {
@@ -1492,7 +1524,7 @@ func (n *Net) onCompletion() {
 		for len(n.completions) > 0 && n.completions[0].due <= now {
 			f := heap.Pop(&n.completions).(*Flow)
 			n.stats.HeapOps++
-			done = append(done, f)
+			done = append(done, f) //pfsim:allocok completion-batch scratch grows to the peak batch, then reuses capacity
 		}
 	}
 	if len(done) == 0 {
@@ -1534,6 +1566,10 @@ func (n *Net) onCompletion() {
 	if n.reference {
 		n.assignRatesReference()
 	}
+	for i := range done {
+		done[i] = nil
+	}
+	n.doneScratch = done[:0]
 }
 
 // retire removes a drained flow from its links, the completion heap and

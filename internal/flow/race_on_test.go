@@ -1,0 +1,7 @@
+//go:build race
+
+package flow
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count tests skip under it (the instrumentation allocates).
+const raceEnabled = true

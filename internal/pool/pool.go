@@ -51,6 +51,8 @@ func Progress(total int, fn func(done, total int)) func() {
 // callers hand each participant its own scratch state; items must touch
 // only state owned by item i or by worker w, under which contract the
 // combined result is independent of the worker count.
+//
+//pfsim:hotpath
 func Fan(workers, n int, fn func(worker, item int)) {
 	if n <= 0 {
 		return
@@ -64,10 +66,11 @@ func Fan(workers, n int, fn func(worker, item int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var next atomic.Int64 //pfsim:allocok shared with the spawned workers (escapes): parallel fan floor
+	var wg sync.WaitGroup //pfsim:allocok shared with the spawned workers (escapes): parallel fan floor
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
+		//pfsim:allocok per-worker spawn closure: the parallel fan's fixed per-call floor
 		go func(w int) {
 			defer wg.Done()
 			for {

@@ -16,6 +16,13 @@ import (
 )
 
 // Event is a scheduled callback. It can be cancelled before it fires.
+//
+// Event records are pooled: once an event has fired or been cancelled, the
+// engine may hand its record to a later Schedule call (see ScheduleAt).
+// Cancelling or rescheduling an event that already fired stays a safe no-op
+// only until the record is reused, so callers that retain an *Event across
+// instants must drop (nil) their reference the moment the event fires —
+// the discipline flow.Net follows with its dirty and completion events.
 type Event struct {
 	at        float64
 	seq       int64
@@ -44,7 +51,7 @@ func (h eventHeap) Swap(i, j int) {
 func (h *eventHeap) Push(x any) {
 	ev := x.(*Event)
 	ev.index = len(*h)
-	*h = append(*h, ev)
+	*h = append(*h, ev) //pfsim:allocok queue growth is bounded by the peak event population, then reuses capacity
 }
 func (h *eventHeap) Pop() any {
 	old := *h
@@ -73,6 +80,11 @@ type Engine struct {
 	pollEvery int // call pollFn every this many fired events (0: never)
 	pollCount int
 	pollFn    func()
+
+	// free holds fired/cancelled event records awaiting reuse, so a
+	// steady-state simulation (the flow solver's flush-per-instant churn)
+	// schedules events without touching the heap allocator.
+	free []*Event
 }
 
 // SetPoll installs fn to run after every n fired events during Run — the
@@ -103,9 +115,11 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Schedule queues fn to run after delay seconds (clamped at zero). It
 // returns the event so callers may cancel it.
+//
+//pfsim:hotpath
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	if math.IsNaN(delay) {
-		panic("sim: scheduled with NaN delay")
+		panic("sim: scheduled with NaN delay") //pfsim:allocok crash path: the boxed panic message never allocates on a live run
 	}
 	if delay < 0 {
 		delay = 0
@@ -114,14 +128,36 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 }
 
 // ScheduleAt queues fn to run at absolute virtual time at (clamped to now).
+// The returned event's record comes from the engine's free list when one is
+// available: scheduling allocates only while the in-flight event population
+// is still growing, and a steady-state simulation runs allocation-free.
+//
+//pfsim:hotpath
 func (e *Engine) ScheduleAt(at float64, fn func()) *Event {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	var ev *Event
+	if k := len(e.free) - 1; k >= 0 {
+		ev = e.free[k]
+		e.free[k] = nil
+		e.free = e.free[:k]
+		*ev = Event{at: at, seq: e.seq, fn: fn, index: -1}
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, index: -1} //pfsim:allocok event-pool growth: reused via Engine.free once fired
+	}
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// recycle returns a fired or cancelled event record to the free list. The
+// record keeps cancelled=true while pooled, so a stale Cancel or Reschedule
+// through a retained pointer stays a no-op until the record is reused.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.cancelled = true
+	e.free = append(e.free, ev) //pfsim:allocok free-list growth is bounded by the peak event population
 }
 
 // Reschedule moves a pending event to fire at absolute virtual time at
@@ -152,7 +188,10 @@ func (e *Engine) Reschedule(ev *Event, at float64) bool {
 }
 
 // Cancel removes a pending event; cancelling a fired or already-cancelled
-// event is a no-op.
+// event is a no-op. The cancelled record returns to the engine's free list
+// immediately — see the pooling contract on Event.
+//
+//pfsim:hotpath
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.cancelled || ev.index < 0 {
 		if ev != nil {
@@ -162,6 +201,7 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.cancelled = true
 	heap.Remove(&e.events, ev.index)
+	e.recycle(ev)
 }
 
 // Stop makes the next (or current) Run return before firing another event.
@@ -183,6 +223,8 @@ func (e *Engine) Run() error { return e.RunUntil(math.Inf(1)) }
 // silently discarded a Stop issued before Run — launch-error paths that
 // stop the engine synchronously (before Run begins) would run the whole
 // simulation anyway and delay the error until completion.
+//
+//pfsim:hotpath
 func (e *Engine) RunUntil(tmax float64) error {
 	for !e.stopped && len(e.events) > 0 {
 		if e.events[0].at > tmax {
@@ -191,12 +233,15 @@ func (e *Engine) RunUntil(tmax float64) error {
 		}
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		ev.fn()
+		fn := ev.fn
+		fn()
+		e.recycle(ev)
 		if e.pollEvery > 0 {
 			if e.pollCount++; e.pollCount >= e.pollEvery {
 				e.pollCount = 0
@@ -209,16 +254,25 @@ func (e *Engine) RunUntil(tmax float64) error {
 		return nil
 	}
 	if len(e.blocked) > 0 {
-		names := make([]string, 0, len(e.blocked))
-		//pfsim:orderok — names are sorted below before they reach the error
-		for _, n := range e.blocked {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		return fmt.Errorf("sim: deadlock at t=%.6f: %d blocked process(es): %v",
-			e.now, len(e.blocked), names)
+		return e.deadlockErr()
 	}
 	return nil
+}
+
+// deadlockErr builds the blocked-process report for RunUntil. It lives
+// outside the event loop so the hot-path call-graph closure excludes
+// this cold, allocation-heavy error path.
+//
+//pfsim:allocok cold error path: runs once, right before the simulation aborts
+func (e *Engine) deadlockErr() error {
+	names := make([]string, 0, len(e.blocked))
+	//pfsim:orderok — names are sorted below before they reach the error
+	for _, n := range e.blocked {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at t=%.6f: %d blocked process(es): %v",
+		e.now, len(e.blocked), names)
 }
 
 // Pending reports the number of queued (uncancelled) events. Cancel

@@ -11,6 +11,11 @@ type Proc struct {
 	resume  chan struct{}
 	done    bool
 	started bool // the start event fired: a goroutine exists
+
+	// transferFn is the bound-method closure for transfer, built once at
+	// spawn so the wake paths (Sleep, Signal.Fire, Resource.Release) can
+	// schedule it without allocating a fresh closure per wake.
+	transferFn func()
 }
 
 // procKilled is the Drain sentinel: resuming a parked process while the
@@ -28,6 +33,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 // SpawnAfter starts a process after delay seconds of virtual time.
 func (e *Engine) SpawnAfter(delay float64, name string, body func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p.transferFn = p.transfer
 	e.procs++
 	// Compact finished procs out of the drain worklist once they dominate
 	// it, so engines that churn through many short-lived processes keep
@@ -139,9 +145,10 @@ func (e *Engine) Drain() {
 	// was stopped on. (After a normal completion the queue is empty and
 	// this is a no-op.)
 	for i := range e.events {
-		e.events[i].cancelled = true
-		e.events[i].index = -1
+		ev := e.events[i]
+		ev.index = -1
 		e.events[i] = nil
+		e.recycle(ev)
 	}
 	e.events = e.events[:0]
 }
@@ -161,7 +168,7 @@ func (p *Proc) Done() bool { return p.done }
 // Sleep suspends the process for d seconds of virtual time (non-positive
 // durations yield to other events at the current time).
 func (p *Proc) Sleep(d float64) {
-	p.eng.Schedule(d, func() { p.transfer() })
+	p.eng.Schedule(d, p.transferFn)
 	p.yieldToEngine()
 }
 
@@ -212,9 +219,8 @@ func (s *Signal) Fire() {
 	waiters := s.waiters
 	s.waiters = nil
 	for _, p := range waiters {
-		proc := p
-		delete(s.eng.blocked, proc)
-		s.eng.Schedule(0, func() { proc.transfer() })
+		delete(s.eng.blocked, p)
+		s.eng.Schedule(0, p.transferFn)
 	}
 }
 
@@ -259,7 +265,7 @@ func (r *Resource) Release() {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
 		delete(r.eng.blocked, next)
-		r.eng.Schedule(0, func() { next.transfer() })
+		r.eng.Schedule(0, next.transferFn)
 		return // slot stays accounted to the woken proc
 	}
 	r.inUse--
