@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenRun is the exact output of `run -v` over the pass and fail
+// files. The simulation and the report are deterministic, so any drift
+// here is a real behaviour change in the scenario runtime or the CLI
+// formatting.
+const goldenRun = `=== FAIL testdata/fail.yaml (cli-fail)
+    jobs 1  makespan 2.9s  total 44.6 MB/s  mean 44.6 MB/s  asserts 1
+    job w                              44.6 MB/s  finished 2.9s
+    assert failed: assert.total_mbs: total bandwidth = 44.56 below min 1e+12
+=== ok   testdata/pass.yaml (cli-pass)
+    jobs 2  makespan 3.3s  total 79.3 MB/s  mean 39.6 MB/s  asserts 2
+    job w                              39.1 MB/s  finished 3.3s
+    job w-job1                         40.2 MB/s  finished 3.2s
+
+1 passed, 1 failed, 2 total
+`
+
+func TestRunGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := cmdMain([]string{"run", "-v", "testdata/pass.yaml", "testdata/fail.yaml"}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (one file fails)", code)
+	}
+	if out.String() != goldenRun {
+		t.Errorf("run output drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), goldenRun)
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+// goldenRunDir covers /... directory expansion: the invalid file fails
+// at validate time with a positioned error, not a mid-run panic.
+const goldenRunDir = `=== FAIL testdata/fail.yaml (cli-fail)
+    jobs 1  makespan 2.9s  total 44.6 MB/s  mean 44.6 MB/s  asserts 1
+    assert failed: assert.total_mbs: total bandwidth = 44.56 below min 1e+12
+=== FAIL testdata/invalid.yaml (cli-invalid)
+    testdata/invalid.yaml: timeline[0]: OST 99 out of range [0,8)
+=== ok   testdata/pass.yaml (cli-pass)
+    jobs 2  makespan 3.3s  total 79.3 MB/s  mean 39.6 MB/s  asserts 2
+
+1 passed, 2 failed, 3 total
+`
+
+func TestRunDirGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := cmdMain([]string{"run", "testdata/..."}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if out.String() != goldenRunDir {
+		t.Errorf("run output drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), goldenRunDir)
+	}
+}
+
+const goldenValidate = `valid    testdata/fail.yaml (cli-fail)
+invalid  testdata/invalid.yaml
+    testdata/invalid.yaml: timeline[0]: OST 99 out of range [0,8)
+valid    testdata/pass.yaml (cli-pass)
+
+1 of 3 files invalid
+`
+
+func TestValidateGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := cmdMain([]string{"validate", "testdata"}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if out.String() != goldenValidate {
+		t.Errorf("validate output drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), goldenValidate)
+	}
+}
+
+func TestValidateAllValid(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := cmdMain([]string{"validate", "testdata/pass.yaml", "testdata/fail.yaml"}, &out, &errOut)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 (assertion bounds are not validation errors): %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "all 2 files valid") {
+		t.Errorf("missing summary: %s", out.String())
+	}
+}
+
+const goldenList = `testdata/fail.yaml                       cli-fail                 monolithic events 0   asserts 1   impossible bandwidth bound
+testdata/invalid.yaml                    cli-invalid              monolithic events 1   asserts 0   OST index out of range
+testdata/pass.yaml                       cli-pass                 monolithic events 2   asserts 2   two writers, one OST brownout
+`
+
+func TestListGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := cmdMain([]string{"list", "testdata"}, &out, &errOut)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+	if out.String() != goldenList {
+		t.Errorf("list output drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), goldenList)
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := cmdMain(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code := cmdMain([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown command: exit = %d, want 2", code)
+	}
+	if code := cmdMain([]string{"run", "does-not-exist.yaml"}, &out, &errOut); code != 2 {
+		t.Errorf("missing path: exit = %d, want 2", code)
+	}
+	out.Reset()
+	if code := cmdMain([]string{"help"}, &out, &errOut); code != 0 || !strings.Contains(out.String(), "usage:") {
+		t.Errorf("help: exit = %d, out = %q", code, out.String())
+	}
+}

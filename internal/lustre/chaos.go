@@ -1,0 +1,150 @@
+package lustre
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/flow"
+)
+
+// This file holds the fault-injection hooks the declarative scenario
+// timeline compiles onto: link lookup by stable name, whole-system
+// health sweeps, and rebuild/resync traffic after an OST failure. The
+// hooks are plain methods so hand-written experiments and the timeline
+// compiler drive exactly the same primitives — which is what makes the
+// byte-identity property test in internal/scenariofile meaningful.
+
+// LinkByName resolves a topology link by its scenario-facing name:
+// "backbone", "nic<i>" or "oss<i>". OST links are addressed through
+// OST(i) and its health model rather than by name — swapping a raw
+// capacity model onto an OST link would silently discard the class-aware
+// service model, so LinkByName refuses "ost<i>".
+func (s *System) LinkByName(name string) (*flow.Link, error) {
+	if name == "backbone" {
+		return s.backbone, nil
+	}
+	for _, g := range []struct {
+		prefix string
+		links  []*flow.Link
+	}{{"nic", s.nics}, {"oss", s.osss}} {
+		if !strings.HasPrefix(name, g.prefix) {
+			continue
+		}
+		i, err := strconv.Atoi(name[len(g.prefix):])
+		if err != nil {
+			return nil, fmt.Errorf("lustre: bad link name %q", name)
+		}
+		if i < 0 || i >= len(g.links) {
+			return nil, fmt.Errorf("lustre: link %q out of range [0,%d)", name, len(g.links))
+		}
+		return g.links[i], nil
+	}
+	if strings.HasPrefix(name, "ost") {
+		return nil, fmt.Errorf("lustre: OST links carry the service model; use OST health, not a capacity swap, for %q", name)
+	}
+	return nil, fmt.Errorf("lustre: unknown link %q (backbone, nic<i>, oss<i>)", name)
+}
+
+// SetAllOSTHealth applies one health factor to every OST — a whole-shard
+// brownout (factor near 0) or recovery (factor 1). Negative factors
+// clamp to 0 like OST.SetHealth.
+func (s *System) SetAllOSTHealth(factor float64) {
+	for _, o := range s.osts {
+		o.SetHealth(factor)
+	}
+}
+
+// RebuildOpts shapes the background resync traffic started by
+// StartRebuild.
+type RebuildOpts struct {
+	// SizeMB is the total volume to reconstruct onto the target.
+	SizeMB float64
+	// Streams is the rebuild concurrency (default 1): the volume is
+	// split evenly across this many source→target flows.
+	Streams int
+	// RateMBs optionally caps each stream (<= 0 = uncapped), modelling a
+	// throttled rebuild that deliberately yields to foreground I/O.
+	RateMBs float64
+	// Sources lists the OSTs the surviving replicas are read from. Empty
+	// means the target's OSS-neighbour OSTs excluding the target itself,
+	// round-robin.
+	Sources []int
+	// OnDone, when set, runs once after every rebuild stream finishes.
+	OnDone func()
+}
+
+// StartRebuild injects rebuild/resync traffic toward OST target: reads
+// from surviving source OSTs traverse source OST link → source OSS →
+// backbone → target OSS → target OST, competing with foreground jobs on
+// every shared hop. Streams register on both end OSTs with synthetic
+// negative file IDs (the MDS hands out positive ones), so rebuild I/O
+// participates in the class-aware contention model without colliding
+// with any real file. Returns the started flows.
+func (s *System) StartRebuild(target int, opts RebuildOpts) []*flow.Flow {
+	if target < 0 || target >= len(s.osts) {
+		panic(fmt.Sprintf("lustre: rebuild target %d out of range [0,%d)", target, len(s.osts)))
+	}
+	if opts.SizeMB <= 0 {
+		panic(fmt.Sprintf("lustre: rebuild volume must be > 0, got %v", opts.SizeMB))
+	}
+	streams := opts.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	sources := opts.Sources
+	if len(sources) == 0 {
+		tgt := s.osts[target]
+		for _, o := range s.osts {
+			if o.oss == tgt.oss && o.id != target {
+				sources = append(sources, o.id)
+			}
+		}
+		if len(sources) == 0 {
+			// Single-OST OSS: pull across the backbone from the next OSS.
+			for _, o := range s.osts {
+				if o.id != target {
+					sources = append(sources, o.id)
+					break
+				}
+			}
+		}
+	}
+	for _, src := range sources {
+		if src < 0 || src >= len(s.osts) {
+			panic(fmt.Sprintf("lustre: rebuild source %d out of range [0,%d)", src, len(s.osts)))
+		}
+		if src == target {
+			panic(fmt.Sprintf("lustre: rebuild source %d is the target", src))
+		}
+	}
+	tgt := s.osts[target]
+	per := opts.SizeMB / float64(streams)
+	pending := streams
+	specs := make([]flow.FlowSpec, streams)
+	const rebuildRPCMB = 1.0 // resync chunks stream in ~1 MB requests
+	for i := 0; i < streams; i++ {
+		src := s.osts[sources[i%len(sources)]]
+		s.rebuildSeq--
+		fileID := s.rebuildSeq
+		rd := src.AddStream(cluster.ClassSequential, fileID, rebuildRPCMB)
+		wr := tgt.AddStream(cluster.ClassSequential, fileID, rebuildRPCMB)
+		done := opts.OnDone
+		specs[i] = flow.FlowSpec{
+			Name:    fmt.Sprintf("%srebuild/ost%d/s%d", s.prefix, target, i),
+			SizeMB:  per,
+			MaxRate: opts.RateMBs,
+			OnDone: func() {
+				rd.Remove()
+				wr.Remove()
+				pending--
+				if pending == 0 && done != nil {
+					done()
+				}
+			},
+			Path: []*flow.Link{src.link, s.osss[src.oss], s.backbone, s.osss[tgt.oss], tgt.link},
+		}
+	}
+	return s.net.StartBatch(specs)
+}

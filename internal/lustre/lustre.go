@@ -35,6 +35,9 @@ type System struct {
 	rng     *stats.RNG
 	prefix  string
 	fileSeq int
+	// rebuildSeq hands out negative synthetic file IDs for rebuild
+	// streams (see StartRebuild); real files get positive IDs.
+	rebuildSeq int
 }
 
 // NewSystem builds the simulated file system and network topology for plat

@@ -1,0 +1,178 @@
+package scenariofile
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// dec decodes the generic parse tree into the typed schema with strict
+// unknown-key rejection and positioned error messages. path strings name
+// the location being decoded (e.g. "fleet[2].ior").
+type dec struct {
+	name string // file name for errors
+}
+
+// errf builds a decode error anchored at the file and schema path.
+func (d *dec) errf(path, format string, args ...any) error {
+	return fmt.Errorf("%s: %s: %s", d.name, path, fmt.Sprintf(format, args...))
+}
+
+// mapAt asserts v is a mapping.
+func (d *dec) mapAt(v any, path string) (*Map, error) {
+	m, ok := v.(*Map)
+	if !ok {
+		return nil, d.errf(path, "expected a mapping, got %s", typeName(v))
+	}
+	return m, nil
+}
+
+// listAt asserts v is a list.
+func (d *dec) listAt(v any, path string) ([]any, error) {
+	l, ok := v.([]any)
+	if !ok {
+		return nil, d.errf(path, "expected a list, got %s", typeName(v))
+	}
+	return l, nil
+}
+
+// strict rejects keys outside allowed, naming the offender and the legal
+// set — typos in scenario files fail loudly instead of being ignored.
+func (d *dec) strict(m *Map, path string, allowed ...string) error {
+	for _, k := range m.Keys() {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return d.errf(path, "unknown key %q (allowed: %s)", k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// str reads an optional string field.
+func (d *dec) str(m *Map, path, key, def string) (string, error) {
+	v, ok := m.Get(key)
+	if !ok || v == nil {
+		return def, nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", d.errf(path+"."+key, "expected a string, got %s", typeName(v))
+	}
+	return s, nil
+}
+
+// f64 reads an optional float field (ints coerce).
+func (d *dec) f64(m *Map, path, key string, def float64) (float64, error) {
+	v, ok := m.Get(key)
+	if !ok || v == nil {
+		return def, nil
+	}
+	f, err := asFloat(v)
+	if err != nil {
+		return 0, d.errf(path+"."+key, "%v", err)
+	}
+	return f, nil
+}
+
+// integer reads an optional integer field (integral floats coerce).
+func (d *dec) integer(m *Map, path, key string, def int) (int, error) {
+	v, ok := m.Get(key)
+	if !ok || v == nil {
+		return def, nil
+	}
+	i, err := asInt(v)
+	if err != nil {
+		return 0, d.errf(path+"."+key, "%v", err)
+	}
+	return i, nil
+}
+
+// boolean reads an optional bool field.
+func (d *dec) boolean(m *Map, path, key string, def bool) (bool, error) {
+	v, ok := m.Get(key)
+	if !ok || v == nil {
+		return def, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, d.errf(path+"."+key, "expected a bool, got %s", typeName(v))
+	}
+	return b, nil
+}
+
+// intList reads an optional list of integers.
+func (d *dec) intList(m *Map, path, key string) ([]int, error) {
+	v, ok := m.Get(key)
+	if !ok || v == nil {
+		return nil, nil
+	}
+	l, err := d.listAt(v, path+"."+key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(l))
+	for i, e := range l {
+		n, err := asInt(e)
+		if err != nil {
+			return nil, d.errf(fmt.Sprintf("%s.%s[%d]", path, key, i), "%v", err)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// asFloat coerces a scalar to float64.
+func asFloat(v any) (float64, error) {
+	switch t := v.(type) {
+	case float64:
+		if math.IsNaN(t) {
+			return 0, fmt.Errorf("NaN is not a valid number")
+		}
+		return t, nil
+	case int64:
+		return float64(t), nil
+	default:
+		return 0, fmt.Errorf("expected a number, got %s", typeName(v))
+	}
+}
+
+// asInt coerces a scalar to int, rejecting fractional floats.
+func asInt(v any) (int, error) {
+	switch t := v.(type) {
+	case int64:
+		return int(t), nil
+	case float64:
+		if t != math.Trunc(t) || math.IsNaN(t) || math.IsInf(t, 0) {
+			return 0, fmt.Errorf("expected an integer, got %v", t)
+		}
+		return int(t), nil
+	default:
+		return 0, fmt.Errorf("expected an integer, got %s", typeName(v))
+	}
+}
+
+// typeName names a tree value for error messages.
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case *Map:
+		return "mapping"
+	case []any:
+		return "list"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	case int64, float64:
+		return "number"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}

@@ -1,0 +1,301 @@
+package scenariofile
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/flow"
+	"pfsim/internal/ior"
+	"pfsim/internal/lustre"
+	"pfsim/internal/pool"
+	"pfsim/internal/workload"
+)
+
+// RunOptions configures one scenario-file execution.
+type RunOptions struct {
+	// Seed overrides the platform seed (0 keeps the file's choice).
+	Seed uint64
+	// Parallelism is spent inside the fluid solver during the contended
+	// run and across the worker pool for solo baselines — byte-identical
+	// results at any width.
+	Parallelism int
+	// Reference forces the reference solver (the incremental solver's
+	// byte-identical oracle); used by equivalence tests.
+	Reference bool
+	// Ctx cancels the run mid-simulation.
+	Ctx context.Context
+}
+
+// Result is the outcome of running one scenario file: the simulation
+// results plus the assertion verdict.
+type Result struct {
+	// File is the executed scenario.
+	File *File
+	// Platform is the resolved cluster description.
+	Platform *cluster.Platform
+	// Mono holds the monolithic run's result (nil for sharded files).
+	Mono *workload.Result
+	// Sharded holds the sharded run's result (nil for monolithic files).
+	Sharded *workload.ShardedResult
+	// Failures lists every assertion that did not hold, in assertion
+	// block order. Empty means the file passed.
+	Failures []string
+}
+
+// Passed reports whether every assertion held.
+func (r *Result) Passed() bool { return len(r.Failures) == 0 }
+
+// Makespan returns the run's makespan.
+func (r *Result) Makespan() float64 {
+	if r.Mono != nil {
+		return r.Mono.Makespan
+	}
+	return r.Sharded.Makespan
+}
+
+// Solver returns the run's solver work counters.
+func (r *Result) Solver() flow.Stats {
+	if r.Mono != nil {
+		return r.Mono.Solver
+	}
+	return r.Sharded.Solver
+}
+
+// Aggregate returns the run's cross-job bandwidth summary.
+func (r *Result) Aggregate() workload.Aggregate {
+	if r.Mono != nil {
+		return r.Mono.Aggregate()
+	}
+	return r.Sharded.Aggregate()
+}
+
+// EachJob visits every job result in deterministic order (shard by
+// shard, jobs in scenario order) with its shard index (-1 monolithic).
+func (r *Result) EachJob(fn func(shard int, jr *workload.JobResult)) {
+	if r.Mono != nil {
+		for i := range r.Mono.Jobs {
+			fn(-1, &r.Mono.Jobs[i])
+		}
+		return
+	}
+	for s, sh := range r.Sharded.Shards {
+		for i := range sh.Jobs {
+			fn(s, &sh.Jobs[i])
+		}
+	}
+}
+
+// Run executes the scenario file: validate, build the platform, expand
+// the fleet, run the simulation with the timeline compiled onto engine
+// hooks, compute solo baselines when an assertion needs slowdowns, and
+// evaluate the assertion block. The returned Result carries the
+// assertion verdict; err is reserved for files that fail to validate or
+// simulate at all.
+func Run(f *File, opts RunOptions) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	plat, err := f.BuildPlatform()
+	if err != nil {
+		return nil, err
+	}
+	scens, err := f.BuildScenarios()
+	if err != nil {
+		return nil, err
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	wopts := workload.RunOptions{Seed: opts.Seed, Parallelism: opts.Parallelism, Ctx: ctx}
+	out := &Result{File: f, Platform: plat}
+	if !f.Sharded() {
+		res, err := workload.RunScenarioWith(plat, scens[0], wopts, func(sys *lustre.System) {
+			if opts.Reference {
+				sys.Net().UseReferenceSolver(true)
+			}
+			f.InstrumentShard(-1)(sys)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Mono = res
+	} else {
+		res, err := workload.RunShardedWith(plat, scens, wopts, func(i int, sys *lustre.System) {
+			if opts.Reference {
+				sys.Net().UseReferenceSolver(true)
+			}
+			f.InstrumentShard(i)(sys)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Sharded = res
+	}
+	if f.needsBaselines() {
+		if err := applyBaselines(ctx, plat, opts, out); err != nil {
+			return nil, err
+		}
+	}
+	out.Failures = f.evaluate(out)
+	return out, nil
+}
+
+// applyBaselines runs one clean solo simulation per distinct job shape
+// (no timeline — a baseline measures the job alone on a healthy system)
+// and fills in slowdown figures.
+func applyBaselines(ctx context.Context, plat *cluster.Platform, opts RunOptions, r *Result) error {
+	type holder interface {
+		SoloConfigs() []ior.Config
+		ApplySolo(map[ior.Config]*ior.Result)
+	}
+	var holders []holder
+	if r.Mono != nil {
+		holders = append(holders, r.Mono)
+	} else {
+		for _, sh := range r.Sharded.Shards {
+			holders = append(holders, sh)
+		}
+	}
+	var units []ior.Config
+	offsets := make([][]ior.Config, len(holders))
+	for i, h := range holders {
+		offsets[i] = h.SoloConfigs()
+		units = append(units, offsets[i]...)
+	}
+	baselines := make([]*ior.Result, len(units))
+	err := pool.Run(ctx, opts.Parallelism, len(units), func(k int) error {
+		res, err := workload.RunScenario(plat, workload.Scenario{
+			Jobs: []workload.Job{{Workload: workload.IORJob{Cfg: units[k]}}},
+		}, opts.Seed)
+		if err != nil {
+			return fmt.Errorf("solo baseline for %q: %w", units[k].Label, err)
+		}
+		baselines[k] = res.Jobs[0].IOR
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	k := 0
+	for i, h := range holders {
+		byCfg := make(map[ior.Config]*ior.Result, len(offsets[i]))
+		for range offsets[i] {
+			byCfg[units[k]] = baselines[k]
+			k++
+		}
+		h.ApplySolo(byCfg)
+	}
+	return nil
+}
+
+// counterValue maps an assertable counter name to its Stats field.
+func counterValue(s flow.Stats, name string) int64 {
+	switch name {
+	case "solves":
+		return s.Solves
+	case "components_solved":
+		return s.ComponentsSolved
+	case "component_flows_scanned":
+		return s.ComponentFlowsScanned
+	case "link_visits":
+		return s.LinkVisits
+	case "coalesced":
+		return s.Coalesced
+	case "rounds":
+		return s.Rounds
+	case "flows_scanned":
+		return s.FlowsScanned
+	case "flows_settled":
+		return s.FlowsSettled
+	case "heap_ops":
+		return s.HeapOps
+	}
+	panic(fmt.Sprintf("scenariofile: unknown solver counter %q", name))
+}
+
+// evaluate checks the assertion block against the run, returning one
+// message per failed assertion.
+func (f *File) evaluate(r *Result) []string {
+	var fails []string
+	add := func(msg string) {
+		if msg != "" {
+			fails = append(fails, msg)
+		}
+	}
+	agg := r.Aggregate()
+	a := &f.Assert
+	add(prefixFail("assert.makespan", a.Makespan.check("makespan", r.Makespan())))
+	add(prefixFail("assert.total_mbs", a.TotalMBs.check("total bandwidth", agg.TotalMBs)))
+	add(prefixFail("assert.mean_mbs", a.MeanMBs.check("mean job bandwidth", agg.MeanMBs)))
+	add(prefixFail("assert.min_job_mbs", a.MinJobMBs.check("slowest job bandwidth", agg.MinMBs)))
+	add(prefixFail("assert.max_job_mbs", a.MaxJobMBs.check("fastest job bandwidth", agg.MaxMBs)))
+	if a.MeanSlowdown.set() {
+		add(prefixFail("assert.mean_slowdown", a.MeanSlowdown.check("mean slowdown", agg.MeanSlowdown)))
+	}
+	if a.MaxSlowdown.set() {
+		add(prefixFail("assert.max_slowdown", a.MaxSlowdown.check("max slowdown", agg.MaxSlowdown)))
+	}
+	solver := r.Solver()
+	for _, ca := range a.Solver {
+		add(prefixFail("assert.solver."+ca.Name,
+			ca.Bound.check(ca.Name, float64(counterValue(solver, ca.Name)))))
+	}
+	for i := range a.Jobs {
+		ja := &a.Jobs[i]
+		where := fmt.Sprintf("assert.jobs[%d] (%s)", i, ja.Job)
+		matched := 0
+		r.EachJob(func(shard int, jr *workload.JobResult) {
+			if ja.Shard >= 0 && shard != ja.Shard {
+				return
+			}
+			if !labelMatches(ja.Job, jr.Label) {
+				return
+			}
+			matched++
+			add(prefixFail(where, ja.MBs.check(fmt.Sprintf("job %q bandwidth", jr.Label), jr.WriteMBs())))
+			if ja.Slowdown.set() {
+				if jr.Slowdown == 0 {
+					add(fmt.Sprintf("%s: job %q has no slowdown baseline", where, jr.Label))
+				} else {
+					add(prefixFail(where, ja.Slowdown.check(fmt.Sprintf("job %q slowdown", jr.Label), jr.Slowdown)))
+				}
+			}
+			if ja.Finished.set() {
+				add(prefixFail(where, ja.Finished.check(fmt.Sprintf("job %q finish time", jr.Label), jr.FinishedAt)))
+			}
+		})
+		if matched == 0 {
+			add(fmt.Sprintf("%s: no job matches", where))
+		}
+	}
+	for i := range a.Shards {
+		sa := &a.Shards[i]
+		where := fmt.Sprintf("assert.shards[%d]", i)
+		sh := r.Sharded.Shards[sa.Shard]
+		sagg := sh.Aggregate()
+		add(prefixFail(where, sa.TotalMBs.check(fmt.Sprintf("shard %d total bandwidth", sa.Shard), sagg.TotalMBs)))
+		add(prefixFail(where, sa.MeanMBs.check(fmt.Sprintf("shard %d mean job bandwidth", sa.Shard), sagg.MeanMBs)))
+		add(prefixFail(where, sa.Makespan.check(fmt.Sprintf("shard %d makespan", sa.Shard), sh.Makespan)))
+	}
+	return fails
+}
+
+// prefixFail prepends the assertion's location to a non-empty failure.
+func prefixFail(where, msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return where + ": " + msg
+}
+
+// labelMatches matches a job label against an assertion pattern: exact,
+// or prefix when the pattern ends in '*'.
+func labelMatches(pattern, label string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(label, pattern[:len(pattern)-1])
+	}
+	return pattern == label
+}

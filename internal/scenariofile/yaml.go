@@ -1,0 +1,403 @@
+// Package scenariofile implements pfsim's declarative scenario format:
+// YAML (a strict, self-contained subset — the module has no dependencies)
+// or JSON files describing a platform, a fleet of workloads (hand-listed
+// or expanded from seeded generators), a timed fault/chaos event
+// timeline compiled onto the simulation engine's hooks, and an assertion
+// block that turns every file into a self-checking regression test. See
+// the repository README ("Declarative scenarios") for the schema
+// walkthrough and scenarios/ for the corpus CI regression-runs.
+package scenariofile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Map is a parsed mapping with stable key order (file order for YAML,
+// sorted for JSON), so error messages and strict-key checks are
+// deterministic.
+type Map struct {
+	keys []string
+	vals map[string]any
+}
+
+// newMap returns an empty mapping.
+func newMap() *Map {
+	return &Map{vals: map[string]any{}}
+}
+
+// set adds a key; duplicate keys are a parse error handled by callers.
+func (m *Map) set(key string, val any) bool {
+	if _, dup := m.vals[key]; dup {
+		return false
+	}
+	m.keys = append(m.keys, key)
+	m.vals[key] = val
+	return true
+}
+
+// Keys returns the mapping's keys in stable order.
+func (m *Map) Keys() []string { return m.keys }
+
+// Get returns the value for key and whether it is present.
+func (m *Map) Get(key string) (any, bool) {
+	v, ok := m.vals[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (m *Map) Len() int { return len(m.keys) }
+
+// parseAny parses a scenario document: JSON when the first non-space
+// byte is '{', the YAML subset otherwise. The result tree contains
+// *Map, []any, string, float64, int64, bool and nil values.
+func parseAny(data []byte, name string) (any, error) {
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if strings.HasPrefix(trimmed, "{") {
+		var v any
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		dec.UseNumber()
+		if err := dec.Decode(&v); err != nil {
+			return nil, fmt.Errorf("%s: invalid JSON: %w", name, err)
+		}
+		return fromJSON(v), nil
+	}
+	return parseYAML(data, name)
+}
+
+// fromJSON converts encoding/json's generic tree into the parser's:
+// maps become *Map with sorted keys, json.Number becomes int64 when it
+// fits and float64 otherwise.
+func fromJSON(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		//pfsim:orderok — keys are sorted below before any use
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		m := newMap()
+		for _, k := range keys {
+			m.set(k, fromJSON(t[k]))
+		}
+		return m
+	case []any:
+		out := make([]any, len(t))
+		for i := range t {
+			out[i] = fromJSON(t[i])
+		}
+		return out
+	case json.Number:
+		if i, err := strconv.ParseInt(string(t), 10, 64); err == nil {
+			return i
+		}
+		f, _ := t.Float64()
+		return f
+	default:
+		return v
+	}
+}
+
+// yamlLine is one significant (non-blank, non-comment) line of a YAML
+// document.
+type yamlLine struct {
+	num    int    // 1-based line number
+	indent int    // leading spaces
+	text   string // content with indent stripped, comments removed
+}
+
+// yamlParser walks the significant lines of one document.
+type yamlParser struct {
+	name  string
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses the supported YAML subset: nested mappings and block
+// lists by indentation, `- ` list items (including inline `- key: val`
+// compact mappings), flow sequences `[a, b]` of scalars, quoted and
+// plain scalars, and `#` comments. Anchors, aliases, block scalars,
+// multi-document streams and tabs are rejected with a line-numbered
+// error rather than misparsed.
+func parseYAML(data []byte, name string) (any, error) {
+	p := &yamlParser{name: name}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \r")
+		if line == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		text := line[indent:]
+		if strings.HasPrefix(text, "\t") || strings.Contains(line[:indent], "\t") {
+			return nil, fmt.Errorf("%s:%d: tabs are not allowed for indentation", name, i+1)
+		}
+		text = stripComment(text)
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(p.lines) > 0 {
+			return nil, fmt.Errorf("%s:%d: multi-document YAML streams are not supported", name, i+1)
+		}
+		if text == "---" {
+			continue // leading document marker
+		}
+		p.lines = append(p.lines, yamlLine{num: i + 1, indent: indent, text: text})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("%s: empty document", name)
+	}
+	v, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("%s:%d: unexpected content %q (bad indentation?)", name, l.num, l.text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing ` #` comment, respecting quotes. A
+// line starting with '#' is entirely a comment.
+func stripComment(text string) string {
+	if strings.HasPrefix(text, "#") {
+		return ""
+	}
+	inSingle, inDouble := false, false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && i > 0 && text[i-1] == ' ' {
+				return strings.TrimRight(text[:i], " ")
+			}
+		}
+	}
+	return text
+}
+
+// errf builds a positioned parse error.
+func (p *yamlParser) errf(l yamlLine, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.name, l.num, fmt.Sprintf(format, args...))
+}
+
+// parseBlock parses a mapping or list whose lines sit at exactly indent.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("%s: unexpected end of document", p.name)
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+// parseMap parses `key: value` lines at indent into a *Map.
+func (p *yamlParser) parseMap(indent int) (any, error) {
+	m := newMap()
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, p.errf(l, "unexpected indentation")
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, p.errf(l, "list item inside a mapping")
+		}
+		key, rest, err := p.splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		p.pos++
+		var val any
+		if rest == "" {
+			// Value is the following indented block (or null when the
+			// document ends / dedents immediately).
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				val, err = p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			val, err = p.parseScalar(rest, l)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !m.set(key, val) {
+			return nil, p.errf(l, "duplicate key %q", key)
+		}
+	}
+	return m, nil
+}
+
+// parseList parses `- item` lines at indent into a []any.
+func (p *yamlParser) parseList(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			if l.indent > indent {
+				return nil, p.errf(l, "unexpected indentation")
+			}
+			break
+		}
+		if l.text == "-" {
+			// Item is the following indented block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		rest := l.text[2:]
+		// `- key: value` compact mapping: the dash acts as indentation for
+		// a mapping whose first line is rest and whose later keys sit at
+		// indent+2.
+		if _, _, ok := tryKey(rest); ok {
+			p.lines[p.pos] = yamlLine{num: l.num, indent: indent + 2, text: rest}
+			v, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		p.pos++
+		v, err := p.parseScalar(rest, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitKey splits a `key: rest` line; rest is "" for block values.
+func (p *yamlParser) splitKey(l yamlLine) (key, rest string, err error) {
+	key, rest, ok := tryKey(l.text)
+	if !ok {
+		return "", "", p.errf(l, "expected `key: value`, got %q", l.text)
+	}
+	return key, rest, nil
+}
+
+// tryKey reports whether text starts with an unquoted `key:` prefix.
+// Keys are plain scalars (letters, digits, _, -, .): quoted keys and
+// keys containing ':' are not needed by the schema and stay unsupported.
+func tryKey(text string) (key, rest string, ok bool) {
+	i := strings.Index(text, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = text[:i]
+	for _, r := range key {
+		if !(r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", "", false
+		}
+	}
+	rest = text[i+1:]
+	if rest != "" && !strings.HasPrefix(rest, " ") {
+		return "", "", false // e.g. a timestamp scalar "12:30"
+	}
+	return key, strings.TrimLeft(rest, " "), true
+}
+
+// parseScalar interprets one inline value.
+func (p *yamlParser) parseScalar(s string, l yamlLine) (any, error) {
+	switch {
+	case s == "":
+		return nil, nil
+	case strings.HasPrefix(s, "["):
+		return p.parseFlowSeq(s, l)
+	case strings.HasPrefix(s, "\""):
+		out, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, p.errf(l, "bad quoted string %s", s)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "'"):
+		if !strings.HasSuffix(s, "'") || len(s) < 2 {
+			return nil, p.errf(l, "bad quoted string %s", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") ||
+		strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") ||
+		strings.HasPrefix(s, "{"):
+		return nil, p.errf(l, "unsupported YAML feature in %q (anchors, aliases, block scalars and flow mappings are not part of the subset)", s)
+	}
+	return plainScalar(s), nil
+}
+
+// plainScalar types an unquoted scalar: null, bool, int, float or string.
+func plainScalar(s string) any {
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil
+	case "true", "True", "TRUE":
+		return true
+	case "false", "False", "FALSE":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// parseFlowSeq parses a single-line `[a, b, c]` sequence of scalars.
+func (p *yamlParser) parseFlowSeq(s string, l yamlLine) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, p.errf(l, "unterminated flow sequence %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return []any{}, nil
+	}
+	parts := strings.Split(inner, ",")
+	out := make([]any, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, p.errf(l, "empty element in flow sequence %q", s)
+		}
+		if strings.ContainsAny(part, "[]{}") {
+			return nil, p.errf(l, "nested flow collections are not supported in %q", s)
+		}
+		v, err := p.parseScalar(part, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

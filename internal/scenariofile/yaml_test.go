@@ -1,0 +1,184 @@
+package scenariofile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mustParse parses or fails the test.
+func mustParse(t *testing.T, doc string) any {
+	t.Helper()
+	v, err := parseAny([]byte(doc), "test.yaml")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return v
+}
+
+// get digs a key out of a *Map or fails.
+func get(t *testing.T, v any, key string) any {
+	t.Helper()
+	m, ok := v.(*Map)
+	if !ok {
+		t.Fatalf("expected mapping, got %T", v)
+	}
+	out, ok := m.Get(key)
+	if !ok {
+		t.Fatalf("key %q missing (have %v)", key, m.Keys())
+	}
+	return out
+}
+
+func TestYAMLScalars(t *testing.T) {
+	v := mustParse(t, `
+name: brownout
+count: 12
+factor: 0.25
+neg: -3
+enabled: true
+disabled: false
+empty: null
+tilde: ~
+quoted: "a: b # not a comment"
+single: 'it''s'
+bare: hello world
+`)
+	want := map[string]any{
+		"name": "brownout", "count": int64(12), "factor": 0.25,
+		"neg": int64(-3), "enabled": true, "disabled": false,
+		"empty": nil, "tilde": nil,
+		"quoted": "a: b # not a comment", "single": "it's",
+		"bare": "hello world",
+	}
+	for k, w := range want {
+		if g := get(t, v, k); !reflect.DeepEqual(g, w) {
+			t.Errorf("%s = %#v, want %#v", k, g, w)
+		}
+	}
+}
+
+func TestYAMLNesting(t *testing.T) {
+	v := mustParse(t, `
+platform:
+  preset: cab
+  seed: 7
+fleet:
+  - ior:
+      tasks: 64
+      label: a
+    count: 2
+  - plfs:
+      ranks: 128
+timeline:
+  - at: 30
+    ost_health:
+      ost: 12
+      factor: 0.2
+sources: [1, 2, 3]
+`)
+	plat := get(t, v, "platform")
+	if got := get(t, plat, "preset"); got != "cab" {
+		t.Errorf("preset = %v", got)
+	}
+	fleet, ok := get(t, v, "fleet").([]any)
+	if !ok || len(fleet) != 2 {
+		t.Fatalf("fleet = %#v", get(t, v, "fleet"))
+	}
+	iorSpec := get(t, fleet[0], "ior")
+	if got := get(t, iorSpec, "tasks"); got != int64(64) {
+		t.Errorf("tasks = %v", got)
+	}
+	if got := get(t, fleet[0], "count"); got != int64(2) {
+		t.Errorf("count = %v", got)
+	}
+	tl, _ := get(t, v, "timeline").([]any)
+	if len(tl) != 1 {
+		t.Fatalf("timeline = %#v", tl)
+	}
+	ev := get(t, tl[0], "ost_health")
+	if got := get(t, ev, "factor"); got != 0.2 {
+		t.Errorf("factor = %v", got)
+	}
+	src, _ := get(t, v, "sources").([]any)
+	if !reflect.DeepEqual(src, []any{int64(1), int64(2), int64(3)}) {
+		t.Errorf("sources = %#v", src)
+	}
+}
+
+func TestYAMLComments(t *testing.T) {
+	v := mustParse(t, `
+# leading comment
+name: x  # trailing comment
+list:    # here too
+  - 1
+  - 2
+`)
+	if got := get(t, v, "name"); got != "x" {
+		t.Errorf("name = %v", got)
+	}
+	if got, _ := get(t, v, "list").([]any); len(got) != 2 {
+		t.Errorf("list = %#v", got)
+	}
+}
+
+func TestYAMLKeyOrderStable(t *testing.T) {
+	v := mustParse(t, "b: 1\na: 2\nc: 3\n")
+	m := v.(*Map)
+	if !reflect.DeepEqual(m.Keys(), []string{"b", "a", "c"}) {
+		t.Errorf("keys = %v (want file order)", m.Keys())
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		doc, want string
+	}{
+		{"a: 1\na: 2\n", "duplicate key"},
+		{"\tname: x\n", "tabs"},
+		{"a: &anchor\n", "unsupported YAML feature"},
+		{"a: *ref\n", "unsupported YAML feature"},
+		{"a: |\n  text\n", "unsupported YAML feature"},
+		{"a: [1, 2\n", "unterminated flow sequence"},
+		{"a: 1\n---\nb: 2\n", "multi-document"},
+		{"", "empty document"},
+		{"- a\nb: 1\n", "unexpected content"},
+		{"a:\n  - 1\n b: 2\n", "unexpected"},
+	}
+	for _, tc := range cases {
+		_, err := parseAny([]byte(tc.doc), "bad.yaml")
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("doc %q: err = %v, want containing %q", tc.doc, err, tc.want)
+		}
+	}
+}
+
+func TestJSONInput(t *testing.T) {
+	v := mustParse(t, `{"name": "js", "platform": {"preset": "cab"}, "n": 3, "f": 1.5}`)
+	if got := get(t, v, "name"); got != "js" {
+		t.Errorf("name = %v", got)
+	}
+	if got := get(t, v, "n"); got != int64(3) {
+		t.Errorf("n = %#v", got)
+	}
+	if got := get(t, v, "f"); got != 1.5 {
+		t.Errorf("f = %#v", got)
+	}
+	if got := get(t, get(t, v, "platform"), "preset"); got != "cab" {
+		t.Errorf("preset = %v", got)
+	}
+	// JSON maps get sorted, deterministic key order.
+	m := v.(*Map)
+	if !sortedStrings(m.Keys()) {
+		t.Errorf("JSON keys not sorted: %v", m.Keys())
+	}
+}
+
+func sortedStrings(ss []string) bool {
+	for i := 1; i < len(ss); i++ {
+		if ss[i] < ss[i-1] {
+			return false
+		}
+	}
+	return true
+}

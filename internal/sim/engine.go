@@ -134,6 +134,12 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 //
 //pfsim:hotpath
 func (e *Engine) ScheduleAt(at float64, fn func()) *Event {
+	if math.IsNaN(at) {
+		// A NaN deadline compares false against everything, so it would
+		// corrupt the event heap's ordering invariant silently instead of
+		// failing here.
+		panic("sim: scheduled at NaN time") //pfsim:allocok crash path: the boxed panic message never allocates on a live run
+	}
 	if at < e.now {
 		at = e.now
 	}

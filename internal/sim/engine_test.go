@@ -1,0 +1,15 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleAtNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on NaN absolute time")
+		}
+	}()
+	NewEngine().ScheduleAt(math.NaN(), func() {})
+}

@@ -207,6 +207,15 @@ func (m JobMix) Scenario(name string) (Scenario, error) {
 	return s, nil
 }
 
+// Validate checks the scenario against a platform without running it:
+// every job must resolve to a valid configuration on non-overlapping
+// node ranges with a sane start time. It is the dry-run behind
+// `pfsim-scenario validate`.
+func (s Scenario) Validate(plat *cluster.Platform) error {
+	_, err := s.materialise(plat)
+	return err
+}
+
 // title names the scenario in errors ("scenario" when unnamed).
 func (s Scenario) title() string {
 	if s.Name == "" {

@@ -1,0 +1,57 @@
+package pfsim
+
+import (
+	"strings"
+	"testing"
+)
+
+const scenarioDoc = `
+name: public-surface
+platform:
+  preset: cab
+  nodes: 64
+  osts: 8
+  osss: 2
+fleet:
+  - ior:
+      label: w
+      tasks: 8
+      segments: 4
+    count: 2
+    stripes: 4
+timeline:
+  - at: 2
+    ost_health:
+      ost: 1
+      factor: 0.5
+  - at: 6
+    ost_recover:
+      ost: 1
+assert:
+  total_mbs:
+    min: 1
+`
+
+func TestRunScenarioFile(t *testing.T) {
+	f, err := ParseScenarioFile([]byte(scenarioDoc), "public.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRunner().RunScenarioFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("assertions failed: %v", res.Failures)
+	}
+	if res.Mono == nil || len(res.Mono.Jobs) != 2 {
+		t.Fatalf("unexpected result shape")
+	}
+}
+
+func TestParseScenarioFileRejectsBadTimes(t *testing.T) {
+	bad := strings.Replace(scenarioDoc, "at: 2", "at: -2", 1)
+	if _, err := ParseScenarioFile([]byte(bad), "bad.yaml"); err == nil {
+		t.Fatal("negative event time accepted")
+	}
+}
