@@ -40,8 +40,25 @@ type baselineFile struct {
 
 // gate names the benchmarks and counters under regression control.
 type gate struct {
-	MaxRegressionPct float64                       `json:"max_regression_pct"`
-	Counters         map[string]map[string]float64 `json:"counters"`
+	MaxRegressionPct float64 `json:"max_regression_pct"`
+	// Allowances overrides the regression allowance (in percent) for
+	// specific counters by metric name, wherever they are gated. The
+	// deterministic simulation counters stay on the tight default; this
+	// exists for the inherently noisy metrics a gate still wants bounded —
+	// ns/op and peak goroutine counts on the fleet benchmark, where the
+	// regressions being guarded against (goroutine-per-writer dispatch)
+	// are order-of-magnitude, not percent-level.
+	Allowances map[string]float64            `json:"allowances,omitempty"`
+	Counters   map[string]map[string]float64 `json:"counters"`
+}
+
+// allowancePct returns the regression allowance for a counter: its
+// per-metric override when one is configured, the shared default otherwise.
+func (g gate) allowancePct(counter string) float64 {
+	if pct, ok := g.Allowances[counter]; ok {
+		return pct
+	}
+	return g.MaxRegressionPct
 }
 
 // benchResult is one parsed benchmark line: its name (GOMAXPROCS suffix
@@ -113,7 +130,8 @@ func check(g gate, results []benchResult) (lines []string, ok bool) {
 		sort.Strings(counters)
 		for _, counter := range counters {
 			base := g.Counters[name][counter]
-			limit := base * (1 + g.MaxRegressionPct/100)
+			pct := g.allowancePct(counter)
+			limit := base * (1 + pct/100)
 			got, found := res.metrics[counter]
 			switch {
 			case !found:
@@ -121,11 +139,11 @@ func check(g gate, results []benchResult) (lines []string, ok bool) {
 				ok = false
 			case got > limit:
 				lines = append(lines, fmt.Sprintf("FAIL %s %s: %.0f exceeds baseline %.0f by %+.1f%% (allowed %+.1f%%)",
-					name, counter, got, base, 100*(got/base-1), g.MaxRegressionPct))
+					name, counter, got, base, 100*(got/base-1), pct))
 				ok = false
 			default:
 				note := ""
-				if base > 0 && got < base*(1-g.MaxRegressionPct/100) {
+				if base > 0 && got < base*(1-pct/100) {
 					note = " (improved: consider refreshing the baseline)"
 				}
 				lines = append(lines, fmt.Sprintf("ok   %s %s: %.0f vs baseline %.0f (%+.1f%%)%s",
@@ -154,7 +172,7 @@ func run(baselinePath string, bench io.Reader, out io.Writer) error {
 		fmt.Fprintln(out, l)
 	}
 	if !ok {
-		return fmt.Errorf("benchgate: solver cost counters regressed beyond %+.1f%% of %s", bl.Gate.MaxRegressionPct, baselinePath)
+		return fmt.Errorf("benchgate: gated counters regressed beyond their allowances in %s", baselinePath)
 	}
 	return nil
 }
@@ -184,6 +202,7 @@ type baselineDoc struct {
 type gateDoc struct {
 	Comment          json.RawMessage               `json:"comment,omitempty"`
 	MaxRegressionPct json.RawMessage               `json:"max_regression_pct,omitempty"`
+	Allowances       json.RawMessage               `json:"allowances,omitempty"`
 	Counters         map[string]map[string]float64 `json:"counters"`
 }
 
@@ -205,7 +224,7 @@ func checkKnownFields(raw []byte) error {
 	if err := json.Unmarshal(top["gate"], &gate); err != nil {
 		return err
 	}
-	knownGate := map[string]bool{"comment": true, "max_regression_pct": true, "counters": true}
+	knownGate := map[string]bool{"comment": true, "max_regression_pct": true, "allowances": true, "counters": true}
 	for k := range gate {
 		if !knownGate[k] {
 			return fmt.Errorf("unknown gate field %q; -update would drop it — teach cmd/pfsim-benchgate the field first", k)

@@ -106,6 +106,70 @@ func TestCheckRegressionFails(t *testing.T) {
 	}
 }
 
+// TestCheckAllowanceOverride: a per-counter allowance loosens (or
+// tightens) the shared default for that metric only — ns/op-style noisy
+// metrics can be gated wide while the deterministic counters stay tight.
+func TestCheckAllowanceOverride(t *testing.T) {
+	g := testGate()
+	g.Allowances = map[string]float64{"ns/op": 100}
+	g.Counters["BenchmarkSolver1024Flows/incremental"]["ns/op"] = 1000
+	pass := []benchResult{{
+		name: "BenchmarkSolver1024Flows/incremental",
+		metrics: map[string]float64{
+			"ns/op":           1900, // +90% < the 100% ns/op allowance
+			"linkvisits/op":   3181153,
+			"flowsscanned/op": 420350,
+		},
+	}}
+	if lines, ok := check(g, pass); !ok {
+		t.Errorf("+90%% ns/op should pass its 100%% allowance:\n%s", strings.Join(lines, "\n"))
+	}
+	fail := []benchResult{{
+		name: "BenchmarkSolver1024Flows/incremental",
+		metrics: map[string]float64{
+			"ns/op":           2100, // +110% > the 100% ns/op allowance
+			"linkvisits/op":   3181153 * 1.05,
+			"flowsscanned/op": 420350,
+		},
+	}}
+	lines, ok := check(g, fail)
+	if ok {
+		t.Fatal("gate passed a +110% ns/op regression against a 100% allowance")
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL BenchmarkSolver1024Flows/incremental ns/op") ||
+		!strings.Contains(joined, "allowed +100.0%") {
+		t.Errorf("ns/op failure should cite its own allowance:\n%s", joined)
+	}
+	// The default-allowance counters are untouched by the override.
+	if !strings.Contains(joined, "ok   BenchmarkSolver1024Flows/incremental linkvisits/op") {
+		t.Errorf("+5%% linkvisits should still pass the 10%% default:\n%s", joined)
+	}
+}
+
+// TestUpdatePreservesAllowances: -update must round-trip the allowances
+// section untouched.
+func TestUpdatePreservesAllowances(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	orig := `{"gate": {"max_regression_pct": 10, "allowances": {"ns/op": 100}, "counters": {
+	  "BenchmarkSolver1024Flows/incremental": {"linkvisits/op": 1}
+	}}}`
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"ns/op": 100`) {
+		t.Errorf("update dropped the allowances section:\n%s", raw)
+	}
+}
+
 func TestCheckMissingBenchmarkFails(t *testing.T) {
 	if _, ok := check(testGate(), nil); ok {
 		t.Fatal("gate passed with no benchmark output")
@@ -158,10 +222,11 @@ func TestRunAgainstCommittedBaseline(t *testing.T) {
 	if _, err := os.Stat(baseline); err != nil {
 		t.Fatalf("committed baseline missing: %v", err)
 	}
-	synthetic := `BenchmarkSolver1024Flows/incremental 1 1 ns/op 3181153 linkvisits/op 420350 flowsscanned/op 22042 heapops/op 1268 solves/op 1267 componentssolved/op 317714 compflowsscanned/op 75433 allocs/op 14347336 B/op
-BenchmarkSolver4096Flows/incremental 1 1 ns/op 15619020 linkvisits/op 2240351 flowsscanned/op 94800 heapops/op 5089 solves/op 5088 componentssolved/op 1441101 compflowsscanned/op 283896 allocs/op 60812976 B/op
-BenchmarkSolverSharded4096x16/incremental 1 1 ns/op 5296518 linkvisits/op 853482 flowsscanned/op 81316 heapops/op 2908 solves/op 4812 componentssolved/op 597830 compflowsscanned/op 72245 flowssettled/op 124.2 compflowspersolve/op 403156 allocs/op 48022752 B/op
-BenchmarkSolverSharded4096x16/incremental-par4 1 1 ns/op 5296518 linkvisits/op 853482 flowsscanned/op 81316 heapops/op 2908 solves/op 4812 componentssolved/op 597830 compflowsscanned/op 72245 flowssettled/op 124.2 compflowspersolve/op 402117 allocs/op 47135704 B/op
+	synthetic := `BenchmarkSolver1024Flows/incremental 1 1 ns/op 3181153 linkvisits/op 420350 flowsscanned/op 22042 heapops/op 1268 solves/op 1267 componentssolved/op 317714 compflowsscanned/op 83688 allocs/op 15281480 B/op
+BenchmarkSolver4096Flows/incremental 1 1 ns/op 15619020 linkvisits/op 2240351 flowsscanned/op 94800 heapops/op 5089 solves/op 5088 componentssolved/op 1441101 compflowsscanned/op 315995 allocs/op 64660768 B/op
+BenchmarkSolverSharded4096x16/incremental 1 1 ns/op 5296518 linkvisits/op 853482 flowsscanned/op 81316 heapops/op 2908 solves/op 4812 componentssolved/op 597830 compflowsscanned/op 72245 flowssettled/op 124.2 compflowspersolve/op 435453 allocs/op 50778112 B/op
+BenchmarkSolverSharded4096x16/incremental-par4 1 1 ns/op 5296518 linkvisits/op 853482 flowsscanned/op 81316 heapops/op 2908 solves/op 4812 componentssolved/op 597830 compflowsscanned/op 72245 flowssettled/op 124.2 compflowspersolve/op 436574 allocs/op 50926456 B/op
+BenchmarkEngineFleet/tasks 1 653758233 ns/op 3 peakgoroutines 90810384 B/op 1999835 allocs/op
 `
 	var report strings.Builder
 	if err := run(baseline, strings.NewReader(synthetic), &report); err != nil {

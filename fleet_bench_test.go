@@ -1,0 +1,130 @@
+// Fleet-scale dispatch benchmarks: how much the engine itself costs per
+// short-lived writer, and how many real goroutines a fleet holds. This is
+// the PR-9 tentpole's measurement — inline task dispatch versus the
+// goroutine-backed Proc shim on an identical simulation.
+package pfsim
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+
+	"pfsim/internal/flow"
+	"pfsim/internal/sim"
+)
+
+// The fleet shape: writers arrive at a constant stagger, each doing a
+// create (bounded-concurrency resource, the MDS pattern), one small
+// rate-capped transfer on its backbone link, and retiring. The stagger
+// and transfer time put a few hundred writers in flight at any instant
+// regardless of the total count, so the benchmark measures steady-state
+// churn — spawn, block, wake, retire — not a static population.
+const (
+	fleetLinks      = 64   // disjoint backbone links (writer i uses i mod 64)
+	fleetMDSSlots   = 16   // create concurrency
+	fleetCreateCost = 1e-4 // seconds per create
+	fleetWriteMB    = 1.0  // transfer size
+	fleetWriteRate  = 50.0 // per-writer rate cap (MB/s): solo transfer = 20 ms
+	fleetStagger    = 5e-5 // seconds between writer starts (20k arrivals/s)
+)
+
+// runFleet simulates writers short-lived writers in task or shim mode and
+// returns the peak goroutine count observed while the engine ran (sampled
+// every few hundred fired events, which at this event density is many
+// times per simulated writer lifetime).
+func runFleet(tb testing.TB, writers int, useTasks bool) int {
+	tb.Helper()
+	e := sim.NewEngine()
+	n := flow.NewNet(e)
+	links := make([]*flow.Link, fleetLinks)
+	for i := range links {
+		links[i] = n.NewLink("fleet-pipe"+strconv.Itoa(i), flow.Const(1000))
+	}
+	mds := e.NewResource("fleet-mds", fleetMDSSlots)
+	completed := 0
+	for i := 0; i < writers; i++ {
+		link := links[i%fleetLinks]
+		if useTasks {
+			e.StartTask(float64(i)*fleetStagger, "w", i, func(t *sim.Task) {
+				mds.UseTask(t, fleetCreateCost, func() {
+					n.TransferThen(t, "fleet-write", fleetWriteMB, fleetWriteRate, func(*flow.Flow) {
+						completed++
+						t.Finish()
+					}, link)
+				})
+			})
+		} else {
+			e.SpawnIndexed(float64(i)*fleetStagger, "w", i, func(p *sim.Proc) {
+				mds.Use(p, fleetCreateCost)
+				n.TransferAndWait(p, "fleet-write", fleetWriteMB, fleetWriteRate, link)
+				completed++
+			})
+		}
+	}
+	peak := runtime.NumGoroutine()
+	e.SetPoll(512, func() {
+		if g := runtime.NumGoroutine(); g > peak {
+			peak = g
+		}
+	})
+	if err := e.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	if completed != writers {
+		tb.Fatalf("%d of %d writers completed", completed, writers)
+	}
+	if e.LiveTasks() != 0 || e.LiveProcs() != 0 {
+		tb.Fatalf("fleet not retired: %d tasks, %d procs live", e.LiveTasks(), e.LiveProcs())
+	}
+	return peak
+}
+
+// BenchmarkEngineFleet runs 100k short-lived writers through the engine.
+// The tasks variant is the gated one (BENCH_solver.json): ns/op, B/op,
+// allocs/op and the peak live goroutine count — O(1) in fleet size, as
+// TestEngineFleetGoroutinesO1 asserts. The procs variant runs the same
+// simulation on the goroutine-per-process shim for comparison: one stack
+// per in-flight writer and two channel handoffs per blocking operation.
+func BenchmarkEngineFleet(b *testing.B) {
+	const writers = 100_000
+	for _, bc := range []struct {
+		name     string
+		useTasks bool
+	}{
+		{"tasks", true},
+		{"procs", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			peak := 0
+			for i := 0; i < b.N; i++ {
+				peak = runFleet(b, writers, bc.useTasks)
+			}
+			b.ReportMetric(float64(peak), "peakgoroutines")
+		})
+	}
+}
+
+// TestEngineFleetGoroutinesO1: a task-mode fleet holds a constant number
+// of goroutines however many writers pass through, while the shim's
+// goroutine population tracks the in-flight writer count. The arrival and
+// service rates put ~400 writers in flight at steady state, so the
+// thresholds are far apart: tasks must stay within a few goroutines of
+// the test baseline at any fleet size, and the shim must visibly scale.
+func TestEngineFleetGoroutinesO1(t *testing.T) {
+	base := runtime.NumGoroutine()
+	small := runFleet(t, 1_000, true)
+	large := runFleet(t, 20_000, true)
+	if small > base+4 || large > base+4 {
+		t.Errorf("task fleet grew the goroutine count: baseline %d, peak %d (1k writers) / %d (20k writers)",
+			base, small, large)
+	}
+	if large > small+4 {
+		t.Errorf("task-mode peak scales with fleet size: %d at 1k writers, %d at 20k", small, large)
+	}
+	shim := runFleet(t, 2_000, false)
+	if shim < base+50 {
+		t.Errorf("shim fleet peaked at %d goroutines (baseline %d); expected one per in-flight writer — is the shim still goroutine-backed?",
+			shim, base)
+	}
+}

@@ -10,6 +10,14 @@
 // controller — escapes that machinery, so it must either go through
 // the pool or carry a //pfsim:goroutineok annotation recording the
 // audit (e.g. "joined before return, no sim state touched").
+//
+// Since PR 9 the allowlist is tighter in practice than in policy:
+// workloads dispatch as inline engine tasks (sim.Task continuations on
+// the event heap), so a steady-state simulation's only goroutines are
+// the solver pool's workers and whatever still runs on the sim.Proc
+// compatibility shim — the one remaining `go` statement in internal/sim.
+// The allowlist keeps both packages because the shim is property-tested
+// against task dispatch and stays until the last Proc caller converts.
 package barego
 
 import (

@@ -1817,3 +1817,11 @@ func (n *Net) TransferAndWait(p *sim.Proc, name string, sizeMB, maxRate float64,
 	p.Wait(f.Done)
 	return f
 }
+
+// TransferThen is TransferAndWait for task-mode callers: it starts a flow
+// and runs k with it on completion.
+func (n *Net) TransferThen(t *sim.Task, name string, sizeMB, maxRate float64, k func(*Flow), path ...*Link) *Flow {
+	f := n.Start(name, sizeMB, maxRate, path...)
+	f.Done.Await(t, func() { k(f) })
+	return f
+}

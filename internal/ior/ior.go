@@ -54,6 +54,13 @@ type Config struct {
 	// FirstNode places the job on the cluster (jobs in contended
 	// experiments occupy disjoint node ranges).
 	FirstNode int
+	// UseProcShim runs the job's ranks as goroutine-backed processes
+	// (sim.Proc) instead of inline engine tasks. The two dispatch modes
+	// are byte-identical — same event order, RNG draws, results and
+	// solver counters — so this exists for the property tests that prove
+	// that equivalence and as an escape hatch during the migration; the
+	// zero value (inline tasks) is the fast path.
+	UseProcShim bool
 }
 
 // PaperConfig returns the Table II configuration: MPI-IO, write-only,
@@ -310,24 +317,70 @@ func (j *job) launch() *mpi.World {
 				fmt.Sprintf("%s.rep%d", cfg.Label, rep), cfg.API, cfg.Hints)
 		}
 	}
-	w.Launch(func(r *mpi.Rank) {
-		for rep := 0; rep < cfg.Reps; rep++ {
-			if rep > 0 && cfg.ComputeSeconds > 0 {
-				r.Proc().Sleep(cfg.ComputeSeconds)
+	if cfg.UseProcShim {
+		w.Launch(func(r *mpi.Rank) {
+			for rep := 0; rep < cfg.Reps; rep++ {
+				if rep > 0 && cfg.ComputeSeconds > 0 {
+					r.Proc().Sleep(cfg.ComputeSeconds)
+				}
+				f := files[rep]
+				if cfg.FilePerProc {
+					sub := w.Comm().Split(r, r.ID(), 0)
+					f = mpiio.NewFile(j.sys, sub,
+						fmt.Sprintf("%s.rep%d.rank%d", cfg.Label, rep, r.ID()), cfg.API, cfg.Hints)
+				}
+				if err := j.phase(w, r, f, rep); err != nil && j.err == nil {
+					j.err = err
+					return
+				}
 			}
-			f := files[rep]
-			if cfg.FilePerProc {
-				sub := w.Comm().Split(r, r.ID(), 0)
-				f = mpiio.NewFile(j.sys, sub,
-					fmt.Sprintf("%s.rep%d.rank%d", cfg.Label, rep, r.ID()), cfg.API, cfg.Hints)
-			}
-			if err := j.phase(w, r, f, rep); err != nil && j.err == nil {
-				j.err = err
-				return
-			}
-		}
+		})
+		return w
+	}
+	w.LaunchTasks(func(r *mpi.Rank, done func()) {
+		j.runRepK(w, r, files, 0, done)
 	})
 	return w
+}
+
+// runRepK runs repetition rep and then the next, matching the shim's rep
+// loop exactly: the compute gap precedes every repetition but the first,
+// a FilePerProc rank splits off its private communicator and file per
+// repetition, and a phase error stops this rank only if it is the first
+// error of the job.
+func (j *job) runRepK(w *mpi.World, r *mpi.Rank, files []*mpiio.File, rep int, done func()) {
+	cfg := j.cfg
+	if rep >= cfg.Reps {
+		done()
+		return
+	}
+	run := func() {
+		withFile := func(k func(*mpiio.File)) {
+			if cfg.FilePerProc {
+				w.Comm().SplitK(r, r.ID(), 0, func(sub *mpi.Comm) {
+					k(mpiio.NewFile(j.sys, sub,
+						fmt.Sprintf("%s.rep%d.rank%d", cfg.Label, rep, r.ID()), cfg.API, cfg.Hints))
+				})
+				return
+			}
+			k(files[rep])
+		}
+		withFile(func(f *mpiio.File) {
+			j.phaseK(w, r, f, func(err error) {
+				if err != nil && j.err == nil {
+					j.err = err
+					done()
+					return
+				}
+				j.runRepK(w, r, files, rep+1, done)
+			})
+		})
+	}
+	if rep > 0 && cfg.ComputeSeconds > 0 {
+		r.Task().Sleep(cfg.ComputeSeconds, run)
+		return
+	}
+	run()
 }
 
 // phase runs the write (and optional read) phase of one repetition,
@@ -364,6 +417,64 @@ func (j *job) phase(w *mpi.World, r *mpi.Rank, f *mpiio.File, rep int) error {
 	return nil
 }
 
+// phaseK is phase for task-mode ranks: the same barrier/reduce brackets
+// around open-write-close (and the optional read pass), with rank 0
+// recording the aggregate bandwidths.
+func (j *job) phaseK(w *mpi.World, r *mpi.Rank, f *mpiio.File, k func(error)) {
+	cfg := j.cfg
+	t := r.Task()
+	readPhase := func() {
+		if !cfg.ReadFile {
+			k(nil)
+			return
+		}
+		w.Comm().BarrierK(r, func() {
+			w.Comm().AllreduceMinK(r, t.Now(), func(t0 float64) {
+				f.ReadAllK(r, cfg.PerRankMB(), cfg.TransferSizeMB, func(err error) {
+					if err != nil {
+						k(err)
+						return
+					}
+					w.Comm().AllreduceMaxK(r, t.Now(), func(t1 float64) {
+						if w.Comm().RankOf(r) == 0 {
+							j.res.Read.Add(cfg.TotalMB() / (t1 - t0))
+						}
+						k(nil)
+					})
+				})
+			})
+		})
+	}
+	w.Comm().BarrierK(r, func() {
+		if !cfg.WriteFile {
+			readPhase()
+			return
+		}
+		w.Comm().AllreduceMinK(r, t.Now(), func(t0 float64) {
+			f.OpenK(r, func(err error) {
+				if err != nil {
+					k(err)
+					return
+				}
+				j.doWriteK(r, f, func(err error) {
+					if err != nil {
+						k(err)
+						return
+					}
+					f.CloseK(r, func() {
+						w.Comm().AllreduceMaxK(r, t.Now(), func(t1 float64) {
+							if w.Comm().RankOf(r) == 0 {
+								j.record(j.res.Write, f, t1-t0)
+							}
+							readPhase()
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
 func (j *job) doOpen(r *mpi.Rank, f *mpiio.File) error {
 	if j.cfg.FilePerProc {
 		return f.Open(r) // single-member comm: no cross-rank waiting
@@ -384,6 +495,20 @@ func (j *job) doWrite(r *mpi.Rank, f *mpiio.File) error {
 	}
 }
 
+// doWriteK is doWrite for task-mode ranks.
+func (j *job) doWriteK(r *mpi.Rank, f *mpiio.File, k func(error)) {
+	cfg := j.cfg
+	per := cfg.PerRankMB()
+	switch {
+	case cfg.FilePerProc:
+		j.writeFilePerProcK(r, f, k)
+	case cfg.Collective:
+		f.WriteAllK(r, per, cfg.TransferSizeMB, k)
+	default:
+		f.WriteIndependentK(r, per, cfg.TransferSizeMB, k)
+	}
+}
+
 // writeFilePerProc streams the rank's data to its private file as a
 // dedicated sequential writer — the access pattern of the paper's
 // single-OST contention benchmark.
@@ -394,6 +519,25 @@ func (j *job) writeFilePerProc(r *mpi.Rank, f *mpiio.File) error {
 		return f.WriteAll(r, j.cfg.PerRankMB(), j.cfg.TransferSizeMB)
 	}
 	p := r.Proc()
+	p.WaitAll(flow.Dones(j.sys.StartWrites(j.filePerProcReqs(r, f, layout)))...)
+	return nil
+}
+
+// writeFilePerProcK is writeFilePerProc for task-mode ranks.
+func (j *job) writeFilePerProcK(r *mpi.Rank, f *mpiio.File, k func(error)) {
+	layout := f.Layout()
+	if layout == nil {
+		// PLFS + FilePerProc degenerates to the same per-rank logs.
+		f.WriteAllK(r, j.cfg.PerRankMB(), j.cfg.TransferSizeMB, k)
+		return
+	}
+	t := r.Task()
+	sim.AwaitAll(t, flow.Dones(j.sys.StartWrites(j.filePerProcReqs(r, f, layout))), func() { k(nil) })
+}
+
+// filePerProcReqs builds the rank's dedicated sequential streams onto its
+// private file's OSTs.
+func (j *job) filePerProcReqs(r *mpi.Rank, f *mpiio.File, layout *lustre.Layout) []lustre.WriteReq {
 	shares := layout.BytesPerOST(j.cfg.PerRankMB())
 	var reqs []lustre.WriteReq
 	for i, mb := range shares {
@@ -413,8 +557,7 @@ func (j *job) writeFilePerProc(r *mpi.Rank, f *mpiio.File) error {
 			},
 		})
 	}
-	p.WaitAll(flow.Dones(j.sys.StartWrites(reqs))...)
-	return nil
+	return reqs
 }
 
 func fileIDOf(f *mpiio.File, r *mpi.Rank) int {

@@ -83,10 +83,10 @@ type MDS struct {
 // Creates reports the number of files created (telemetry).
 func (m *MDS) Creates() int { return m.creates }
 
-// Create allocates a layout for a new file, charging the caller the
-// metadata service time. The spec is normalised against system defaults
-// and validated against the platform's stripe limit.
-func (m *MDS) Create(p *sim.Proc, name string, spec StripeSpec) (*File, error) {
+// normalizeSpec fills system defaults into spec and validates it against
+// the platform limits — the synchronous prefix shared by Create and
+// CreateK, before any service time is charged.
+func (m *MDS) normalizeSpec(spec StripeSpec) (StripeSpec, error) {
 	plat := m.sys.plat
 	if spec.Count == 0 {
 		spec.Count = plat.DefaultStripeCount
@@ -95,15 +95,22 @@ func (m *MDS) Create(p *sim.Proc, name string, spec StripeSpec) (*File, error) {
 		spec.SizeMB = plat.DefaultStripeSizeMB
 	}
 	if spec.Count < 0 || spec.Count > plat.MaxStripeCount {
-		return nil, fmt.Errorf("lustre: stripe count %d outside 1..%d", spec.Count, plat.MaxStripeCount)
+		return spec, fmt.Errorf("lustre: stripe count %d outside 1..%d", spec.Count, plat.MaxStripeCount)
 	}
 	if spec.SizeMB < 0 {
-		return nil, fmt.Errorf("lustre: negative stripe size %v", spec.SizeMB)
+		return spec, fmt.Errorf("lustre: negative stripe size %v", spec.SizeMB)
 	}
 	if spec.OffsetOST >= plat.OSTs {
-		return nil, fmt.Errorf("lustre: stripe offset %d beyond %d OSTs", spec.OffsetOST, plat.OSTs)
+		return spec, fmt.Errorf("lustre: stripe offset %d beyond %d OSTs", spec.OffsetOST, plat.OSTs)
 	}
-	m.res.Use(p, plat.MDSOpTime)
+	return spec, nil
+}
+
+// allocate draws the new file's layout. It must run only after the MDS
+// service time has been charged: the RNG draw position in the run's
+// deterministic stream is part of the simulated behaviour.
+func (m *MDS) allocate(name string, spec StripeSpec) *File {
+	plat := m.sys.plat
 	var osts []int
 	if spec.OffsetOST >= 0 {
 		osts = make([]int, spec.Count)
@@ -119,7 +126,34 @@ func (m *MDS) Create(p *sim.Proc, name string, spec StripeSpec) (*File, error) {
 		ID:     m.sys.fileSeq,
 		Name:   name,
 		Layout: Layout{OSTs: osts, SizeMB: spec.SizeMB},
-	}, nil
+	}
+}
+
+// Create allocates a layout for a new file, charging the caller the
+// metadata service time. The spec is normalised against system defaults
+// and validated against the platform's stripe limit.
+func (m *MDS) Create(p *sim.Proc, name string, spec StripeSpec) (*File, error) {
+	spec, err := m.normalizeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	m.res.Use(p, m.sys.plat.MDSOpTime)
+	return m.allocate(name, spec), nil
+}
+
+// CreateK is Create for task-mode callers: the file is delivered to k
+// after the metadata service time. A spec error is delivered
+// synchronously, before any service time is charged, exactly like
+// Create's early return.
+func (m *MDS) CreateK(t *sim.Task, name string, spec StripeSpec, k func(*File, error)) {
+	spec, err := m.normalizeSpec(spec)
+	if err != nil {
+		k(nil, err)
+		return
+	}
+	m.res.UseTask(t, m.sys.plat.MDSOpTime, func() {
+		k(m.allocate(name, spec), nil)
+	})
 }
 
 // MustCreate is Create, panicking on spec errors; for callers with
@@ -136,4 +170,9 @@ func (m *MDS) MustCreate(p *sim.Proc, name string, spec StripeSpec) *File {
 // etc.), charging one metadata service time.
 func (m *MDS) Stat(p *sim.Proc) {
 	m.res.Use(p, m.sys.plat.MDSOpTime)
+}
+
+// StatK is Stat for task-mode callers: k runs after the service time.
+func (m *MDS) StatK(t *sim.Task, k func()) {
+	m.res.UseTask(t, m.sys.plat.MDSOpTime, k)
 }

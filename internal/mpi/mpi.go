@@ -75,12 +75,14 @@ func (w *World) Nodes() int {
 // Done fires once every rank's body has returned.
 func (w *World) Done() *sim.Signal { return w.done }
 
-// Launch starts every rank at the current virtual time. Run the engine to
-// execute them; Done fires when all bodies return.
+// Launch starts every rank at the current virtual time, one goroutine-
+// backed process each (the compatibility shim — see LaunchTasks for the
+// inline-dispatch form). Run the engine to execute them; Done fires when
+// all bodies return.
 func (w *World) Launch(body func(r *Rank)) {
 	for i := 0; i < w.size; i++ {
 		rank := &Rank{world: w, id: i}
-		w.eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		w.eng.SpawnIndexed(0, "rank", i, func(p *sim.Proc) {
 			rank.proc = p
 			body(rank)
 			w.left--
@@ -91,11 +93,29 @@ func (w *World) Launch(body func(r *Rank)) {
 	}
 }
 
-// Rank is one simulated MPI process.
+// LaunchTasks starts every rank as an inline engine task at the current
+// virtual time — the goroutine-free counterpart of Launch. The body is
+// written in continuation-passing style against the rank's Task and the
+// K-suffixed collectives, and must arrange for done to be called exactly
+// once when the rank's workload is complete. Done fires when every rank
+// has finished; both launchers map onto identical engine scheduling, so a
+// workload ported between them is byte-identical.
+func (w *World) LaunchTasks(body func(r *Rank, done func())) {
+	for i := 0; i < w.size; i++ {
+		rank := &Rank{world: w, id: i}
+		rank.task = w.eng.StartTask(0, "rank", i, func(*sim.Task) {
+			body(rank, rank.finish)
+		})
+	}
+}
+
+// Rank is one simulated MPI process. Exactly one of proc/task is set,
+// depending on which launcher started the world.
 type Rank struct {
 	world *World
 	id    int
 	proc  *sim.Proc
+	task  *sim.Task
 }
 
 // ID returns the world rank number.
@@ -104,8 +124,23 @@ func (r *Rank) ID() int { return r.id }
 // Node returns the hosting compute node.
 func (r *Rank) Node() int { return r.world.nodeOf[r.id] }
 
-// Proc returns the underlying simulation process.
+// Proc returns the underlying simulation process (nil when the world was
+// started with LaunchTasks).
 func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Task returns the underlying inline task (nil when the world was started
+// with Launch).
+func (r *Rank) Task() *sim.Task { return r.task }
+
+// finish retires a task-mode rank; passed to the LaunchTasks body as its
+// done continuation.
+func (r *Rank) finish() {
+	r.task.Finish()
+	r.world.left--
+	if r.world.left == 0 {
+		r.world.done.Fire()
+	}
+}
 
 // World returns the rank's world.
 func (r *Rank) World() *World { return r.world }
@@ -168,17 +203,16 @@ type rendezvous struct {
 	result  any
 }
 
-// collective is the common engine for synchronising operations: every rank
-// contributes a value; the last arriver computes the result via finalize
-// (receiving contributions keyed by world rank), pays the tree latency, and
-// releases the others.
-func (c *Comm) collective(r *Rank, val float64, finalize func(map[int]float64) any) any {
+// arrive registers one rank's contribution to its next collective and
+// reports whether this rank completed the rendezvous (it is then the
+// "last arriver" responsible for finalizing and releasing the others).
+func (c *Comm) arrive(r *Rank, val float64) (rv *rendezvous, last bool) {
 	if c.RankOf(r) < 0 {
 		panic(fmt.Sprintf("mpi: rank %d not in comm %q", r.id, c.label))
 	}
 	idx := c.seq[r.id]
 	c.seq[r.id]++
-	rv := c.pending[idx]
+	rv = c.pending[idx]
 	if rv == nil {
 		rv = &rendezvous{
 			sig:  c.world.eng.NewSignal(fmt.Sprintf("%s-coll-%d", c.label, idx)),
@@ -189,16 +223,52 @@ func (c *Comm) collective(r *Rank, val float64, finalize func(map[int]float64) a
 	rv.vals[r.id] = val
 	rv.arrived++
 	if rv.arrived < len(c.ranks) {
+		return rv, false
+	}
+	delete(c.pending, idx)
+	return rv, true
+}
+
+// collective is the common engine for synchronising operations: every rank
+// contributes a value; the last arriver computes the result via finalize
+// (receiving contributions keyed by world rank), pays the tree latency, and
+// releases the others.
+func (c *Comm) collective(r *Rank, val float64, finalize func(map[int]float64) any) any {
+	rv, last := c.arrive(r, val)
+	if !last {
 		r.proc.Wait(rv.sig)
 		return rv.result
 	}
-	delete(c.pending, idx)
 	rv.result = finalize(rv.vals)
 	if lat := c.latency(); lat > 0 {
 		r.proc.Sleep(lat)
 	}
 	rv.sig.Fire()
 	return rv.result
+}
+
+// collectiveK is collective for task-mode ranks: the result is delivered
+// to the continuation k instead of returned. It performs the same
+// rendezvous arrival, the same latency sleep (one scheduled event), and
+// the same release order — the last arriver fires the signal and then
+// continues inline, exactly as a resumed process runs its body before the
+// woken waiters' events fire — so both forms are byte-identical.
+func (c *Comm) collectiveK(r *Rank, val float64, finalize func(map[int]float64) any, k func(any)) {
+	rv, last := c.arrive(r, val)
+	if !last {
+		rv.sig.Await(r.task, func() { k(rv.result) })
+		return
+	}
+	rv.result = finalize(rv.vals)
+	release := func() {
+		rv.sig.Fire()
+		k(rv.result)
+	}
+	if lat := c.latency(); lat > 0 {
+		r.task.Sleep(lat, release)
+		return
+	}
+	release()
 }
 
 func (c *Comm) latency() float64 {
@@ -210,109 +280,160 @@ func (c *Comm) latency() float64 {
 	return c.world.CollectiveLatency * stages
 }
 
+// The finalizers are shared between the blocking collectives and their
+// K-suffixed task forms, so the two dispatch modes cannot drift apart.
+
+func finalizeBarrier(map[int]float64) any { return nil }
+
+func finalizeMin(vals map[int]float64) any {
+	min := math.Inf(1)
+	for _, x := range vals {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+func finalizeMax(vals map[int]float64) any {
+	max := math.Inf(-1)
+	for _, x := range vals {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+func finalizeSum(vals map[int]float64) any {
+	// Sum in world-rank order for bit-exact determinism.
+	keys := make([]int, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += vals[k]
+	}
+	return sum
+}
+
+func (c *Comm) finalizeGather(vals map[int]float64) any {
+	out := make([]float64, len(c.ranks))
+	for i, wr := range c.ranks {
+		out[i] = vals[wr]
+	}
+	return out
+}
+
 // Barrier blocks until every comm member arrives.
 func (c *Comm) Barrier(r *Rank) {
-	c.collective(r, 0, func(map[int]float64) any { return nil })
+	c.collective(r, 0, finalizeBarrier)
+}
+
+// BarrierK runs k once every comm member has arrived (task form).
+func (c *Comm) BarrierK(r *Rank, k func()) {
+	c.collectiveK(r, 0, finalizeBarrier, func(any) { k() })
 }
 
 // AllreduceMin returns the minimum contribution across the communicator.
 func (c *Comm) AllreduceMin(r *Rank, v float64) float64 {
-	return c.collective(r, v, func(vals map[int]float64) any {
-		min := math.Inf(1)
-		for _, x := range vals {
-			if x < min {
-				min = x
-			}
-		}
-		return min
-	}).(float64)
+	return c.collective(r, v, finalizeMin).(float64)
+}
+
+// AllreduceMinK delivers the minimum contribution to k (task form).
+func (c *Comm) AllreduceMinK(r *Rank, v float64, k func(float64)) {
+	c.collectiveK(r, v, finalizeMin, func(res any) { k(res.(float64)) })
 }
 
 // AllreduceMax returns the maximum contribution across the communicator.
 func (c *Comm) AllreduceMax(r *Rank, v float64) float64 {
-	return c.collective(r, v, func(vals map[int]float64) any {
-		max := math.Inf(-1)
-		for _, x := range vals {
-			if x > max {
-				max = x
-			}
-		}
-		return max
-	}).(float64)
+	return c.collective(r, v, finalizeMax).(float64)
+}
+
+// AllreduceMaxK delivers the maximum contribution to k (task form).
+func (c *Comm) AllreduceMaxK(r *Rank, v float64, k func(float64)) {
+	c.collectiveK(r, v, finalizeMax, func(res any) { k(res.(float64)) })
 }
 
 // AllreduceSum returns the sum of contributions across the communicator.
 func (c *Comm) AllreduceSum(r *Rank, v float64) float64 {
-	return c.collective(r, v, func(vals map[int]float64) any {
-		// Sum in world-rank order for bit-exact determinism.
-		keys := make([]int, 0, len(vals))
-		for k := range vals {
-			keys = append(keys, k)
-		}
-		sort.Ints(keys)
-		sum := 0.0
-		for _, k := range keys {
-			sum += vals[k]
-		}
-		return sum
-	}).(float64)
+	return c.collective(r, v, finalizeSum).(float64)
+}
+
+// AllreduceSumK delivers the sum of contributions to k (task form).
+func (c *Comm) AllreduceSumK(r *Rank, v float64, k func(float64)) {
+	c.collectiveK(r, v, finalizeSum, func(res any) { k(res.(float64)) })
 }
 
 // AllGather returns every rank's contribution in comm-rank order.
 func (c *Comm) AllGather(r *Rank, v float64) []float64 {
-	return c.collective(r, v, func(vals map[int]float64) any {
-		out := make([]float64, len(c.ranks))
-		for i, wr := range c.ranks {
-			out[i] = vals[wr]
+	return c.collective(r, v, c.finalizeGather).([]float64)
+}
+
+// AllGatherK delivers every rank's contribution in comm-rank order to k
+// (task form).
+func (c *Comm) AllGatherK(r *Rank, v float64, k func([]float64)) {
+	c.collectiveK(r, v, c.finalizeGather, func(res any) { k(res.([]float64)) })
+}
+
+// packSplit encodes color/key into the float contribution losslessly
+// (both are small integers in practice; guard anyway).
+func packSplit(color, key int) float64 {
+	if color < 0 || color > 1<<20 || key < -(1<<20) || key > 1<<20 {
+		panic("mpi: Split color/key out of supported range")
+	}
+	return float64(color)*(1<<21) + float64(key+(1<<20))
+}
+
+func (c *Comm) finalizeSplit(vals map[int]float64) any {
+	type member struct{ color, key, world int }
+	members := make([]member, 0, len(vals))
+	for wr, pv := range vals {
+		col := int(pv / (1 << 21))
+		k := int(pv-float64(col)*(1<<21)) - (1 << 20)
+		members = append(members, member{col, k, wr})
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].color != members[j].color {
+			return members[i].color < members[j].color
 		}
-		return out
-	}).([]float64)
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].world < members[j].world
+	})
+	comms := make(map[int]*Comm)
+	byColor := make(map[int][]int)
+	for _, m := range members {
+		byColor[m.color] = append(byColor[m.color], m.world)
+	}
+	colors := make([]int, 0, len(byColor))
+	for col := range byColor {
+		colors = append(colors, col)
+	}
+	sort.Ints(colors)
+	for _, col := range colors {
+		sub := newComm(c.world, fmt.Sprintf("%s/c%d", c.label, col), byColor[col])
+		for _, wr := range byColor[col] {
+			comms[wr] = sub
+		}
+	}
+	return comms
 }
 
 // Split partitions the communicator by color, ordering each new
 // communicator by (key, world rank) — MPI_Comm_split semantics. Every
 // member must call Split; each receives its sub-communicator.
 func (c *Comm) Split(r *Rank, color, key int) *Comm {
-	// Pack color/key into the float contribution losslessly (both are
-	// small integers in practice; guard anyway).
-	if color < 0 || color > 1<<20 || key < -(1<<20) || key > 1<<20 {
-		panic("mpi: Split color/key out of supported range")
-	}
-	packed := float64(color)*(1<<21) + float64(key+(1<<20))
-	result := c.collective(r, packed, func(vals map[int]float64) any {
-		type member struct{ color, key, world int }
-		members := make([]member, 0, len(vals))
-		for wr, pv := range vals {
-			col := int(pv / (1 << 21))
-			k := int(pv-float64(col)*(1<<21)) - (1 << 20)
-			members = append(members, member{col, k, wr})
-		}
-		sort.Slice(members, func(i, j int) bool {
-			if members[i].color != members[j].color {
-				return members[i].color < members[j].color
-			}
-			if members[i].key != members[j].key {
-				return members[i].key < members[j].key
-			}
-			return members[i].world < members[j].world
-		})
-		comms := make(map[int]*Comm)
-		byColor := make(map[int][]int)
-		for _, m := range members {
-			byColor[m.color] = append(byColor[m.color], m.world)
-		}
-		colors := make([]int, 0, len(byColor))
-		for col := range byColor {
-			colors = append(colors, col)
-		}
-		sort.Ints(colors)
-		for _, col := range colors {
-			sub := newComm(c.world, fmt.Sprintf("%s/c%d", c.label, col), byColor[col])
-			for _, wr := range byColor[col] {
-				comms[wr] = sub
-			}
-		}
-		return comms
-	})
+	result := c.collective(r, packSplit(color, key), c.finalizeSplit)
 	return result.(map[int]*Comm)[r.id]
+}
+
+// SplitK delivers the rank's sub-communicator to k (task form).
+func (c *Comm) SplitK(r *Rank, color, key int, k func(*Comm)) {
+	c.collectiveK(r, packSplit(color, key), c.finalizeSplit, func(res any) {
+		k(res.(map[int]*Comm)[r.id])
+	})
 }

@@ -186,6 +186,58 @@ func (f *File) Open(r *mpi.Rank) error {
 	return nil
 }
 
+// OpenK is Open for task-mode ranks: the same create/fire/await/barrier
+// sequence, with the result delivered to k.
+func (f *File) OpenK(r *mpi.Rank, k func(error)) {
+	t := r.Task()
+	isRoot := f.comm.RankOf(r) == 0
+	join := func() {
+		f.comm.BarrierK(r, func() {
+			f.opened = true
+			k(nil)
+		})
+	}
+	switch f.driver {
+	case DriverPLFS:
+		openLog := func() {
+			f.openSig.Await(t, func() {
+				f.container.OpenRankK(t, r.ID(), func(rl *plfs.RankLog, err error) {
+					if err != nil {
+						k(err)
+						return
+					}
+					f.logs[r.ID()] = rl
+					join()
+				})
+			})
+		}
+		if isRoot {
+			f.container = plfs.NewContainer(f.sys, f.name)
+			f.container.CreateMetaK(t, func() {
+				f.openSig.Fire()
+				openLog()
+			})
+			return
+		}
+		openLog()
+	default:
+		if isRoot {
+			f.sys.MDS().CreateK(t, f.name, f.spec(), func(lf *lustre.File, err error) {
+				if err != nil {
+					k(err)
+					return
+				}
+				f.lf = lf
+				f.buildAggregators()
+				f.openSig.Fire()
+				join()
+			})
+			return
+		}
+		f.openSig.Await(t, join)
+	}
+}
+
 // buildAggregators creates the collective-buffering dispatch links: one
 // aggregator on each distinct compute node of the communicator, bounded by
 // the cb_nodes hint. The stripe-aware ad_lustre driver additionally caps
@@ -242,11 +294,8 @@ func (f *File) buildAggregators() {
 // appends to its own logs. WriteAll returns when the operation completes
 // on every rank.
 func (f *File) WriteAll(r *mpi.Rank, sizeMB, transferMB float64) error {
-	if !f.opened || f.closed {
-		return fmt.Errorf("mpiio: WriteAll on %q before Open or after Close", f.name)
-	}
-	if sizeMB < 0 || transferMB <= 0 {
-		return fmt.Errorf("mpiio: bad WriteAll size=%v transfer=%v", sizeMB, transferMB)
+	if err := f.checkWriteAll(sizeMB, transferMB); err != nil {
+		return err
 	}
 	p := r.Proc()
 	switch f.driver {
@@ -256,13 +305,7 @@ func (f *File) WriteAll(r *mpi.Rank, sizeMB, transferMB float64) error {
 		// reduction both synchronises the ranks and yields the uniform
 		// per-rank volume the merge assumes.
 		total := f.comm.AllreduceSum(r, sizeMB)
-		idx := f.opSeq[r.ID()]
-		f.opSeq[r.ID()]++
-		sig := f.opSigs[idx]
-		if sig == nil {
-			sig = f.sys.Engine().NewSignal(fmt.Sprintf("plfswrite:%s:%d", f.name, idx))
-			f.opSigs[idx] = sig
-		}
+		sig, idx := f.opSignal(r, "plfswrite")
 		if f.comm.RankOf(r) == 0 {
 			err := f.container.BatchWrite(p, total/float64(f.comm.Size()), transferMB)
 			delete(f.opSigs, idx)
@@ -273,13 +316,7 @@ func (f *File) WriteAll(r *mpi.Rank, sizeMB, transferMB float64) error {
 		return nil
 	default:
 		total := f.comm.AllreduceSum(r, sizeMB)
-		idx := f.opSeq[r.ID()]
-		f.opSeq[r.ID()]++
-		sig := f.opSigs[idx]
-		if sig == nil {
-			sig = f.sys.Engine().NewSignal(fmt.Sprintf("writeall:%s:%d", f.name, idx))
-			f.opSigs[idx] = sig
-		}
+		sig, idx := f.opSignal(r, "writeall")
 		if f.comm.RankOf(r) == 0 {
 			f.collectiveWrite(p, total)
 			delete(f.opSigs, idx)
@@ -289,6 +326,69 @@ func (f *File) WriteAll(r *mpi.Rank, sizeMB, transferMB float64) error {
 		p.Wait(sig)
 		return nil
 	}
+}
+
+// WriteAllK is WriteAll for task-mode ranks: the same reduction, the same
+// rank-0 rendezvous signal, the result delivered to k.
+func (f *File) WriteAllK(r *mpi.Rank, sizeMB, transferMB float64, k func(error)) {
+	if err := f.checkWriteAll(sizeMB, transferMB); err != nil {
+		k(err)
+		return
+	}
+	t := r.Task()
+	switch f.driver {
+	case DriverPLFS:
+		f.comm.AllreduceSumK(r, sizeMB, func(total float64) {
+			sig, idx := f.opSignal(r, "plfswrite")
+			if f.comm.RankOf(r) == 0 {
+				f.container.BatchWriteK(t, total/float64(f.comm.Size()), transferMB, func(err error) {
+					delete(f.opSigs, idx)
+					sig.Fire()
+					k(err)
+				})
+				return
+			}
+			sig.Await(t, func() { k(nil) })
+		})
+	default:
+		f.comm.AllreduceSumK(r, sizeMB, func(total float64) {
+			sig, idx := f.opSignal(r, "writeall")
+			if f.comm.RankOf(r) == 0 {
+				f.collectiveWriteK(t, total, func() {
+					delete(f.opSigs, idx)
+					sig.Fire()
+					k(nil)
+				})
+				return
+			}
+			sig.Await(t, func() { k(nil) })
+		})
+	}
+}
+
+func (f *File) checkWriteAll(sizeMB, transferMB float64) error {
+	if !f.opened || f.closed {
+		return fmt.Errorf("mpiio: WriteAll on %q before Open or after Close", f.name)
+	}
+	if sizeMB < 0 || transferMB <= 0 {
+		return fmt.Errorf("mpiio: bad WriteAll size=%v transfer=%v", sizeMB, transferMB)
+	}
+	return nil
+}
+
+// opSignal returns the rendezvous signal for the rank's next rank-0-led
+// collective operation, creating it on first arrival. All ranks issue
+// their operations in the same order, so the per-rank sequence number
+// matches arrivals of one operation across the communicator.
+func (f *File) opSignal(r *mpi.Rank, kind string) (*sim.Signal, int) {
+	idx := f.opSeq[r.ID()]
+	f.opSeq[r.ID()]++
+	sig := f.opSigs[idx]
+	if sig == nil {
+		sig = f.sys.Engine().NewSignal(fmt.Sprintf("%s:%s:%d", kind, f.name, idx))
+		f.opSigs[idx] = sig
+	}
+	return sig, idx
 }
 
 // collectiveWrite launches the two-phase flows for one collective write of
@@ -305,6 +405,22 @@ func (f *File) collectiveWrite(p *sim.Proc, totalMB float64) {
 	if totalMB <= 0 {
 		return
 	}
+	p.WaitAll(flow.Dones(f.sys.StartWrites(f.collectiveReqs(totalMB)))...)
+}
+
+// collectiveWriteK is collectiveWrite for task-mode aggregor-root ranks:
+// k runs when the two-phase flows drain.
+func (f *File) collectiveWriteK(t *sim.Task, totalMB float64, k func()) {
+	if totalMB <= 0 {
+		k()
+		return
+	}
+	sim.AwaitAll(t, flow.Dones(f.sys.StartWrites(f.collectiveReqs(totalMB))), k)
+}
+
+// collectiveReqs builds the per-aggregator two-phase write requests — the
+// synchronous domain-decomposition body shared by both dispatch modes.
+func (f *File) collectiveReqs(totalMB float64) []lustre.WriteReq {
 	layout := f.lf.Layout
 	A := len(f.aggLinks)
 	R := layout.StripeCount()
@@ -344,7 +460,7 @@ func (f *File) collectiveWrite(p *sim.Proc, totalMB float64) {
 			}
 		}
 	}
-	p.WaitAll(flow.Dones(f.sys.StartWrites(reqs))...)
+	return reqs
 }
 
 func (f *File) cbBufferMB() float64 {
@@ -359,11 +475,8 @@ func (f *File) cbBufferMB() float64 {
 // service paths as writes; PLFS reads replay each rank's log through its
 // index (see plfs.RankLog.Read).
 func (f *File) ReadAll(r *mpi.Rank, sizeMB, transferMB float64) error {
-	if !f.opened {
-		return fmt.Errorf("mpiio: ReadAll on %q before Open", f.name)
-	}
-	if sizeMB < 0 || transferMB <= 0 {
-		return fmt.Errorf("mpiio: bad ReadAll size=%v transfer=%v", sizeMB, transferMB)
+	if err := f.checkReadAll(sizeMB, transferMB); err != nil {
+		return err
 	}
 	p := r.Proc()
 	if f.driver == DriverPLFS {
@@ -378,13 +491,7 @@ func (f *File) ReadAll(r *mpi.Rank, sizeMB, transferMB float64) error {
 		return nil
 	}
 	total := f.comm.AllreduceSum(r, sizeMB)
-	idx := f.opSeq[r.ID()]
-	f.opSeq[r.ID()]++
-	sig := f.opSigs[idx]
-	if sig == nil {
-		sig = f.sys.Engine().NewSignal(fmt.Sprintf("readall:%s:%d", f.name, idx))
-		f.opSigs[idx] = sig
-	}
+	sig, idx := f.opSignal(r, "readall")
 	if f.comm.RankOf(r) == 0 {
 		f.collectiveWrite(p, total)
 		delete(f.opSigs, idx)
@@ -392,6 +499,52 @@ func (f *File) ReadAll(r *mpi.Rank, sizeMB, transferMB float64) error {
 		return nil
 	}
 	p.Wait(sig)
+	return nil
+}
+
+// ReadAllK is ReadAll for task-mode ranks.
+func (f *File) ReadAllK(r *mpi.Rank, sizeMB, transferMB float64, k func(error)) {
+	if err := f.checkReadAll(sizeMB, transferMB); err != nil {
+		k(err)
+		return
+	}
+	t := r.Task()
+	if f.driver == DriverPLFS {
+		rl := f.logs[r.ID()]
+		if rl == nil {
+			k(fmt.Errorf("mpiio: rank %d has no PLFS log", r.ID()))
+			return
+		}
+		rl.ReadK(t, r.Node(), sizeMB, func(err error) {
+			if err != nil {
+				k(err)
+				return
+			}
+			f.comm.BarrierK(r, func() { k(nil) })
+		})
+		return
+	}
+	f.comm.AllreduceSumK(r, sizeMB, func(total float64) {
+		sig, idx := f.opSignal(r, "readall")
+		if f.comm.RankOf(r) == 0 {
+			f.collectiveWriteK(t, total, func() {
+				delete(f.opSigs, idx)
+				sig.Fire()
+				k(nil)
+			})
+			return
+		}
+		sig.Await(t, func() { k(nil) })
+	})
+}
+
+func (f *File) checkReadAll(sizeMB, transferMB float64) error {
+	if !f.opened {
+		return fmt.Errorf("mpiio: ReadAll on %q before Open", f.name)
+	}
+	if sizeMB < 0 || transferMB <= 0 {
+		return fmt.Errorf("mpiio: bad ReadAll size=%v transfer=%v", sizeMB, transferMB)
+	}
 	return nil
 }
 
@@ -424,6 +577,36 @@ func (f *File) WriteIndependent(r *mpi.Rank, sizeMB, transferMB float64) error {
 		return nil
 	}
 	p := r.Proc()
+	p.WaitAll(flow.Dones(f.sys.StartWrites(f.independentReqs(r, sizeMB, transferMB)))...)
+	return nil
+}
+
+// WriteIndependentK is WriteIndependent for task-mode ranks.
+func (f *File) WriteIndependentK(r *mpi.Rank, sizeMB, transferMB float64, k func(error)) {
+	if !f.opened || f.closed {
+		k(fmt.Errorf("mpiio: WriteIndependent on %q before Open or after Close", f.name))
+		return
+	}
+	t := r.Task()
+	if f.driver == DriverPLFS {
+		rl := f.logs[r.ID()]
+		if rl == nil {
+			k(fmt.Errorf("mpiio: rank %d has no PLFS log", r.ID()))
+			return
+		}
+		rl.WriteK(t, r.Node(), sizeMB, transferMB, k)
+		return
+	}
+	if sizeMB <= 0 {
+		k(nil)
+		return
+	}
+	sim.AwaitAll(t, flow.Dones(f.sys.StartWrites(f.independentReqs(r, sizeMB, transferMB))), func() { k(nil) })
+}
+
+// independentReqs builds the per-OST streams of one rank's uncoordinated
+// write, each in its own lock domain.
+func (f *File) independentReqs(r *mpi.Rank, sizeMB, transferMB float64) []lustre.WriteReq {
 	layout := f.lf.Layout
 	shares := layout.BytesPerOST(sizeMB)
 	rpc := transferMB
@@ -449,8 +632,7 @@ func (f *File) WriteIndependent(r *mpi.Rank, sizeMB, transferMB float64) error {
 			},
 		})
 	}
-	p.WaitAll(flow.Dones(f.sys.StartWrites(reqs))...)
-	return nil
+	return reqs
 }
 
 // Close closes the file collectively: PLFS ranks flush their index logs,
@@ -468,4 +650,29 @@ func (f *File) Close(r *mpi.Rank) {
 		f.closed = true
 	}
 	f.comm.Barrier(r)
+}
+
+// CloseK is Close for task-mode ranks: log flush, barrier, root metadata
+// update, final barrier, then k.
+func (f *File) CloseK(r *mpi.Rank, k func()) {
+	t := r.Task()
+	barriers := func() {
+		f.comm.BarrierK(r, func() {
+			if f.comm.RankOf(r) == 0 && !f.closed {
+				f.sys.MDS().StatK(t, func() {
+					f.closed = true
+					f.comm.BarrierK(r, k)
+				})
+				return
+			}
+			f.comm.BarrierK(r, k)
+		})
+	}
+	if f.driver == DriverPLFS {
+		if rl := f.logs[r.ID()]; rl != nil {
+			rl.CloseK(t, barriers)
+			return
+		}
+	}
+	barriers()
 }

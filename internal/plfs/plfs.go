@@ -68,6 +68,24 @@ func (c *Container) CreateMeta(p *sim.Proc) {
 	c.ready.Fire()
 }
 
+// CreateMetaK is CreateMeta for task-mode callers: the same subdirs+1
+// sequential metadata operations, expressed as a self-continuing chain,
+// then ready fires and k runs.
+func (c *Container) CreateMetaK(t *sim.Task, k func()) {
+	i := 0
+	var step func()
+	step = func() {
+		if i > c.subdirs {
+			c.ready.Fire()
+			k()
+			return
+		}
+		i++
+		c.sys.MDS().StatK(t, step)
+	}
+	step()
+}
+
 // RankLog is one rank's pair of backend logs.
 type RankLog struct {
 	c      *Container
@@ -97,15 +115,54 @@ func (c *Container) OpenRank(p *sim.Proc, rank int) (*RankLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	index, err := c.sys.MDS().Create(p, fmt.Sprintf("%s/dropping.index.%d", prefix, rank),
-		lustre.StripeSpec{Count: 1, SizeMB: c.sys.Platform().DefaultStripeSizeMB, OffsetOST: -1})
+	index, err := c.sys.MDS().Create(p, fmt.Sprintf("%s/dropping.index.%d", prefix, rank), c.indexSpec())
 	if err != nil {
 		return nil, err
 	}
+	return c.adoptLog(rank, data, index), nil
+}
+
+// OpenRankK is OpenRank for task-mode callers: wait for the container
+// skeleton, serialize the two creates under the subdir lock, deliver the
+// log to k.
+func (c *Container) OpenRankK(t *sim.Task, rank int, k func(*RankLog, error)) {
+	if _, dup := c.logs[rank]; dup {
+		k(nil, fmt.Errorf("plfs: rank %d already open in %q", rank, c.name))
+		return
+	}
+	c.ready.Await(t, func() {
+		c.createRes.UseTask(t, 2*c.sys.Platform().PLFSCreateTime, func() {
+			prefix := fmt.Sprintf("%s/hostdir.%d", c.name, c.Subdir(rank))
+			c.sys.MDS().CreateK(t, fmt.Sprintf("%s/dropping.data.%d", prefix, rank), lustre.DefaultSpec(),
+				func(data *lustre.File, err error) {
+					if err != nil {
+						k(nil, err)
+						return
+					}
+					c.sys.MDS().CreateK(t, fmt.Sprintf("%s/dropping.index.%d", prefix, rank), c.indexSpec(),
+						func(index *lustre.File, err error) {
+							if err != nil {
+								k(nil, err)
+								return
+							}
+							k(c.adoptLog(rank, data, index), nil)
+						})
+				})
+		})
+	})
+}
+
+// indexSpec is the single-stripe layout index logs are created with.
+func (c *Container) indexSpec() lustre.StripeSpec {
+	return lustre.StripeSpec{Count: 1, SizeMB: c.sys.Platform().DefaultStripeSizeMB, OffsetOST: -1}
+}
+
+// adoptLog registers a freshly created rank log in the container.
+func (c *Container) adoptLog(rank int, data, index *lustre.File) *RankLog {
 	rl := &RankLog{c: c, rank: rank, subdir: c.Subdir(rank), data: data, index: index}
 	c.logs[rank] = rl
 	c.order = append(c.order, rank)
-	return rl, nil
+	return rl
 }
 
 // Data returns the rank's data log file.
@@ -123,15 +180,41 @@ func (rl *RankLog) WrittenMB() float64 { return rl.writtenMB }
 // rank sustains at most Platform.PLFSRankMBs, the calibrated per-rank PLFS
 // write path cost. Write blocks until the data is on the OSTs.
 func (rl *RankLog) Write(p *sim.Proc, node int, sizeMB, transferMB float64) error {
+	if err := rl.checkWrite(sizeMB, transferMB); err != nil || sizeMB == 0 {
+		return err
+	}
+	reqs := rl.writeReqs(node, sizeMB, transferMB)
+	p.WaitAll(flow.Dones(rl.c.sys.StartWrites(reqs))...)
+	rl.accountWrite(sizeMB, transferMB)
+	return nil
+}
+
+// WriteK is Write for task-mode callers: k runs (with any validation
+// error) once the data is on the OSTs.
+func (rl *RankLog) WriteK(t *sim.Task, node int, sizeMB, transferMB float64, k func(error)) {
+	if err := rl.checkWrite(sizeMB, transferMB); err != nil || sizeMB == 0 {
+		k(err)
+		return
+	}
+	reqs := rl.writeReqs(node, sizeMB, transferMB)
+	sim.AwaitAll(t, flow.Dones(rl.c.sys.StartWrites(reqs)), func() {
+		rl.accountWrite(sizeMB, transferMB)
+		k(nil)
+	})
+}
+
+func (rl *RankLog) checkWrite(sizeMB, transferMB float64) error {
 	if rl.closed {
 		return fmt.Errorf("plfs: write to closed log (rank %d)", rl.rank)
 	}
 	if sizeMB < 0 || transferMB <= 0 {
 		return fmt.Errorf("plfs: bad write size=%v transfer=%v", sizeMB, transferMB)
 	}
-	if sizeMB == 0 {
-		return nil
-	}
+	return nil
+}
+
+// writeReqs builds the per-OST append streams for one rank write.
+func (rl *RankLog) writeReqs(node int, sizeMB, transferMB float64) []lustre.WriteReq {
 	plat := rl.c.sys.Platform()
 	shares := rl.data.Layout.BytesPerOST(sizeMB)
 	perStream := plat.PLFSRankMBs / float64(len(shares))
@@ -154,10 +237,13 @@ func (rl *RankLog) Write(p *sim.Proc, node int, sizeMB, transferMB float64) erro
 			},
 		})
 	}
-	p.WaitAll(flow.Dones(rl.c.sys.StartWrites(reqs))...)
+	return reqs
+}
+
+// accountWrite records a completed append in the log's telemetry.
+func (rl *RankLog) accountWrite(sizeMB, transferMB float64) {
 	rl.writtenMB += sizeMB
 	rl.records += int(sizeMB / transferMB)
-	return nil
 }
 
 // BatchWrite appends perRankMB to every opened rank log in one collective
@@ -172,11 +258,34 @@ func (rl *RankLog) Write(p *sim.Proc, node int, sizeMB, transferMB float64) erro
 // BatchWrite blocks until the slowest OST drains — exactly when the
 // slowest rank would finish under per-rank flows.
 func (c *Container) BatchWrite(p *sim.Proc, perRankMB, transferMB float64) error {
+	specs, err := c.batchSpecs(perRankMB, transferMB)
+	if err != nil || specs == nil {
+		return err
+	}
+	p.WaitAll(flow.Dones(c.sys.Net().StartBatch(specs))...)
+	return nil
+}
+
+// BatchWriteK is BatchWrite for task-mode callers: k runs (with any
+// validation error) once the slowest merged OST stream drains.
+func (c *Container) BatchWriteK(t *sim.Task, perRankMB, transferMB float64, k func(error)) {
+	specs, err := c.batchSpecs(perRankMB, transferMB)
+	if err != nil || specs == nil {
+		k(err)
+		return
+	}
+	sim.AwaitAll(t, flow.Dones(c.sys.Net().StartBatch(specs)), func() { k(nil) })
+}
+
+// batchSpecs merges the per-rank log streams into one flow spec per OST
+// and accounts the written volume — the synchronous body shared by
+// BatchWrite and BatchWriteK. A nil, nil return means nothing to write.
+func (c *Container) batchSpecs(perRankMB, transferMB float64) ([]flow.FlowSpec, error) {
 	if perRankMB < 0 || transferMB <= 0 {
-		return fmt.Errorf("plfs: bad batch write size=%v transfer=%v", perRankMB, transferMB)
+		return nil, fmt.Errorf("plfs: bad batch write size=%v transfer=%v", perRankMB, transferMB)
 	}
 	if perRankMB == 0 || len(c.order) == 0 {
-		return nil
+		return nil, nil
 	}
 	plat := c.sys.Platform()
 	type ostShare struct {
@@ -189,7 +298,7 @@ func (c *Container) BatchWrite(p *sim.Proc, perRankMB, transferMB float64) error
 	for _, rank := range c.order {
 		rl := c.logs[rank]
 		if rl.closed {
-			return fmt.Errorf("plfs: batch write with closed log (rank %d)", rank)
+			return nil, fmt.Errorf("plfs: batch write with closed log (rank %d)", rank)
 		}
 		perOST := rl.data.Layout.BytesPerOST(perRankMB)
 		perStream := plat.PLFSRankMBs / float64(len(perOST))
@@ -229,8 +338,7 @@ func (c *Container) BatchWrite(p *sim.Proc, perRankMB, transferMB float64) error
 			Path: []*flow.Link{c.sys.Backbone(), c.sys.OSSLink(ost.OSS()), ost.Link()},
 		})
 	}
-	p.WaitAll(flow.Dones(c.sys.Net().StartBatch(specs))...)
-	return nil
+	return specs, nil
 }
 
 // Read plays the data back: an index merge (in-memory, charged per record)
@@ -243,6 +351,24 @@ func (rl *RankLog) Read(p *sim.Proc, node int, sizeMB float64) error {
 	}
 	// Index record lookup: ~1 µs per record, linear merge.
 	p.Sleep(float64(rl.records) * 1e-6)
+	p.WaitAll(flow.Dones(rl.c.sys.StartWrites(rl.readReqs(node, sizeMB)))...)
+	return nil
+}
+
+// ReadK is Read for task-mode callers: the index merge charge, then the
+// sequential reads, then k.
+func (rl *RankLog) ReadK(t *sim.Task, node int, sizeMB float64, k func(error)) {
+	if sizeMB <= 0 {
+		k(nil)
+		return
+	}
+	t.Sleep(float64(rl.records)*1e-6, func() {
+		sim.AwaitAll(t, flow.Dones(rl.c.sys.StartWrites(rl.readReqs(node, sizeMB))), func() { k(nil) })
+	})
+}
+
+// readReqs builds the per-OST sequential read streams for a log replay.
+func (rl *RankLog) readReqs(node int, sizeMB float64) []lustre.WriteReq {
 	shares := rl.data.Layout.BytesPerOST(sizeMB)
 	var reqs []lustre.WriteReq
 	for i, mb := range shares {
@@ -262,8 +388,7 @@ func (rl *RankLog) Read(p *sim.Proc, node int, sizeMB float64) error {
 			},
 		})
 	}
-	p.WaitAll(flow.Dones(rl.c.sys.StartWrites(reqs))...)
-	return nil
+	return reqs
 }
 
 // Close flushes the rank's index log (one metadata operation).
@@ -273,6 +398,17 @@ func (rl *RankLog) Close(p *sim.Proc) {
 	}
 	rl.closed = true
 	rl.c.sys.MDS().Stat(p)
+}
+
+// CloseK is Close for task-mode callers: k runs after the index flush
+// (immediately for an already-closed log).
+func (rl *RankLog) CloseK(t *sim.Task, k func()) {
+	if rl.closed {
+		k()
+		return
+	}
+	rl.closed = true
+	rl.c.sys.MDS().StatK(t, k)
 }
 
 // Ranks returns the number of opened rank logs.

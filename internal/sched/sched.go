@@ -183,8 +183,10 @@ func (s *state) start(q *queued, first, nodes int) {
 		return
 	}
 	startAt := s.eng.Now()
-	s.eng.Spawn("sched-watch:"+cfg.Label, func(p *sim.Proc) {
-		p.Wait(rj.Done)
+	// A completion subscription rather than a watcher process: the job's
+	// Done signal reschedules the dispatcher directly, so the scheduler
+	// holds no parked goroutine per running job.
+	rj.Done.OnFired(func() {
 		if rj.Err() != nil && s.err == nil {
 			s.err = rj.Err()
 		}
@@ -197,7 +199,7 @@ func (s *state) start(q *queued, first, nodes int) {
 			FirstNode: first,
 			Submit:    q.submit,
 			Start:     startAt,
-			End:       p.Now(),
+			End:       s.eng.Now(),
 		})
 		s.dispatch()
 	})

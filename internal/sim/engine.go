@@ -74,8 +74,11 @@ type Engine struct {
 	yield   chan struct{} // handed a token when a proc returns control
 	procs   int           // live processes
 	live    []*Proc       // every spawned, unfinished process (Drain's worklist)
-	blocked map[*Proc]string
+	blocked map[*Proc]blockedOn
 	killing bool // Drain in progress: resumed procs unwind instead of running
+
+	tasks    int // started, unfinished inline tasks
+	blockedT map[*Task]blockedOn
 
 	pollEvery int // call pollFn every this many fired events (0: never)
 	pollCount int
@@ -105,9 +108,18 @@ func (e *Engine) SetPoll(n int, fn func()) {
 // NewEngine returns an engine at virtual time zero.
 func NewEngine() *Engine {
 	return &Engine{
-		yield:   make(chan struct{}),
-		blocked: map[*Proc]string{},
+		yield:    make(chan struct{}),
+		blocked:  map[*Proc]blockedOn{},
+		blockedT: map[*Task]blockedOn{},
 	}
+}
+
+// blockedOn records what a parked process or task is stalled on. The
+// description string is assembled only if a deadlock report is actually
+// produced — parking is on the dispatch hot path and must not format.
+type blockedOn struct {
+	verb string // "waiting" (signal) or "queued on" (resource)
+	what string // the signal or resource name
 }
 
 // Now returns the current virtual time in seconds.
@@ -259,7 +271,7 @@ func (e *Engine) RunUntil(tmax float64) error {
 		e.stopped = false // consume the stop so the engine can be resumed
 		return nil
 	}
-	if len(e.blocked) > 0 {
+	if len(e.blocked) > 0 || len(e.blockedT) > 0 {
 		return e.deadlockErr()
 	}
 	return nil
@@ -271,14 +283,18 @@ func (e *Engine) RunUntil(tmax float64) error {
 //
 //pfsim:allocok cold error path: runs once, right before the simulation aborts
 func (e *Engine) deadlockErr() error {
-	names := make([]string, 0, len(e.blocked))
+	names := make([]string, 0, len(e.blocked)+len(e.blockedT))
 	//pfsim:orderok — names are sorted below before they reach the error
-	for _, n := range e.blocked {
-		names = append(names, n)
+	for p, on := range e.blocked {
+		names = append(names, fmt.Sprintf("%s (%s %s)", p.Name(), on.verb, on.what))
+	}
+	//pfsim:orderok — names are sorted below before they reach the error
+	for t, on := range e.blockedT {
+		names = append(names, fmt.Sprintf("%s (%s %s)", t.Name(), on.verb, on.what))
 	}
 	sort.Strings(names)
 	return fmt.Errorf("sim: deadlock at t=%.6f: %d blocked process(es): %v",
-		e.now, len(e.blocked), names)
+		e.now, len(names), names)
 }
 
 // Pending reports the number of queued (uncancelled) events. Cancel
@@ -290,3 +306,7 @@ func (e *Engine) Pending() int { return len(e.events) }
 // LiveProcs reports the number of processes that have started and not yet
 // finished.
 func (e *Engine) LiveProcs() int { return e.procs }
+
+// LiveTasks reports the number of inline tasks that have started and not
+// yet finished.
+func (e *Engine) LiveTasks() int { return e.tasks }

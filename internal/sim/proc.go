@@ -1,13 +1,23 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Proc is a simulated process: a goroutine whose execution interleaves
 // deterministically with the engine. Inside the body function, the blocking
 // methods (Sleep, Wait, Acquire via Resource) advance virtual time.
+//
+// Proc is the compatibility shim for workloads not yet rewritten as
+// inline Tasks (see task.go): every Proc parks a real goroutine, so each
+// blocking operation costs two channel handoffs and a scheduler context
+// switch, and Drain must panic-unwind the stack. New workload code should
+// use Task; Proc remains property-tested byte-identical to it.
 type Proc struct {
 	eng     *Engine
-	name    string
+	label   string
+	id      int // >= 0: appended to label on demand (lazy spawn names)
 	resume  chan struct{}
 	done    bool
 	started bool // the start event fired: a goroutine exists
@@ -32,7 +42,15 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 
 // SpawnAfter starts a process after delay seconds of virtual time.
 func (e *Engine) SpawnAfter(delay float64, name string, body func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	return e.SpawnIndexed(delay, name, -1, body)
+}
+
+// SpawnIndexed starts a process named label+id (formatted lazily: fleet
+// launchers spawn tens of thousands of ranks, and the name is only ever
+// read by deadlock reports and diagnostics, so it must not be built per
+// spawn). A negative id names the process label alone.
+func (e *Engine) SpawnIndexed(delay float64, label string, id int, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, label: label, id: id, resume: make(chan struct{})}
 	p.transferFn = p.transfer
 	e.procs++
 	// Compact finished procs out of the drain worklist once they dominate
@@ -137,9 +155,18 @@ func (e *Engine) Drain() {
 			}
 		}
 		e.killing = false
-		e.blocked = map[*Proc]string{}
+		e.blocked = map[*Proc]blockedOn{}
 	}
 	e.live = nil
+	// Inline tasks retire trivially: they own no goroutine and no stack,
+	// so abandoning them is just forgetting their parked continuations —
+	// the waiter lists holding them die with the signals and resources
+	// they sit in, and cancelling the event queue below discards any
+	// already-scheduled resumption.
+	e.tasks = 0
+	if len(e.blockedT) > 0 {
+		e.blockedT = map[*Task]blockedOn{}
+	}
 	// Cancel the abandoned queue even when no process was live: the inert
 	// guarantee must not depend on which side of its last instant the run
 	// was stopped on. (After a normal completion the queue is empty and
@@ -153,8 +180,14 @@ func (e *Engine) Drain() {
 	e.events = e.events[:0]
 }
 
-// Name returns the process name (used in deadlock reports).
-func (p *Proc) Name() string { return p.name }
+// Name returns the process name (used in deadlock reports). Names are
+// formatted on demand — see SpawnIndexed.
+func (p *Proc) Name() string {
+	if p.id < 0 {
+		return p.label
+	}
+	return p.label + strconv.Itoa(p.id)
+}
 
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -178,9 +211,8 @@ func (p *Proc) Wait(s *Signal) {
 	if s.fired {
 		return
 	}
-	key := fmt.Sprintf("%s (waiting %s)", p.name, s.name)
-	p.eng.blocked[p] = key
-	s.waiters = append(s.waiters, p)
+	p.eng.blocked[p] = blockedOn{verb: "waiting", what: s.name}
+	s.waiters = append(s.waiters, waiter{p: p})
 	p.yieldToEngine()
 }
 
@@ -191,6 +223,27 @@ func (p *Proc) WaitAll(sigs ...*Signal) {
 	}
 }
 
+// waiter is one parked entry in a Signal's waiter list or a Resource's
+// queue: p for a channel-shim process, otherwise the continuation k (with
+// t set when it belongs to a tracked inline task; nil for a bare
+// subscription — see Signal.OnFired). Shim procs and tasks share one list
+// so mixed workloads wake in the same deterministic park order regardless
+// of dispatch mode.
+type waiter struct {
+	p *Proc
+	t *Task
+	k func()
+}
+
+// wake schedules the parked waiter to resume at the current virtual time.
+func (w waiter) wake(e *Engine) {
+	if w.p != nil {
+		e.Schedule(0, w.p.transferFn)
+		return
+	}
+	e.Schedule(0, w.k)
+}
+
 // Signal is a one-shot broadcast: processes Wait on it, Fire wakes them all
 // at the current virtual time (in deterministic order). Waiting on an
 // already-fired signal does not block.
@@ -198,7 +251,7 @@ type Signal struct {
 	eng     *Engine
 	name    string
 	fired   bool
-	waiters []*Proc
+	waiters []waiter
 }
 
 // NewSignal creates a named signal on the engine.
@@ -218,9 +271,18 @@ func (s *Signal) Fire() {
 	s.fired = true
 	waiters := s.waiters
 	s.waiters = nil
-	for _, p := range waiters {
-		delete(s.eng.blocked, p)
-		s.eng.Schedule(0, p.transferFn)
+	for _, w := range waiters {
+		s.eng.unblock(w)
+		w.wake(s.eng)
+	}
+}
+
+// unblock clears the deadlock-tracking entry for a woken waiter.
+func (e *Engine) unblock(w waiter) {
+	if w.p != nil {
+		delete(e.blocked, w.p)
+	} else if w.t != nil {
+		delete(e.blockedT, w.t)
 	}
 }
 
@@ -232,7 +294,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	queue    []*Proc
+	queue    []waiter
 }
 
 // NewResource creates a resource admitting capacity concurrent holders.
@@ -249,24 +311,24 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.queue = append(r.queue, p)
-	r.eng.blocked[p] = fmt.Sprintf("%s (queued on %s)", p.name, r.name)
+	r.queue = append(r.queue, waiter{p: p})
+	r.eng.blocked[p] = blockedOn{verb: "queued on", what: r.name}
 	p.yieldToEngine()
 	// Slot was transferred to us by Release.
 }
 
 // Release frees a slot, waking the head of the queue if any. The slot
-// transfers directly to the woken process, preserving FIFO fairness.
+// transfers directly to the woken waiter, preserving FIFO fairness.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
-		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name)) //pfsim:allocok crash path: the formatted panic message never allocates on a live run
 	}
 	if len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		delete(r.eng.blocked, next)
-		r.eng.Schedule(0, next.transferFn)
-		return // slot stays accounted to the woken proc
+		r.eng.unblock(next)
+		next.wake(r.eng)
+		return // slot stays accounted to the woken waiter
 	}
 	r.inUse--
 }

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTaskSleepChain: a task's continuation chain advances virtual time
+// exactly like a sleeping process, and Finish retires it.
+func TestTaskSleepChain(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	tk := e.StartTask(0.5, "worker", 0, func(t *Task) {
+		times = append(times, t.Now())
+		t.Sleep(1, func() {
+			times = append(times, t.Now())
+			t.Sleep(2, func() {
+				times = append(times, t.Now())
+				t.Finish()
+			})
+		})
+	})
+	if e.LiveTasks() != 1 {
+		t.Fatalf("LiveTasks = %d before run, want 1", e.LiveTasks())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.5, 3.5}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], want[i])
+		}
+	}
+	if !tk.Done() || e.LiveTasks() != 0 {
+		t.Errorf("task not retired: done=%v live=%d", tk.Done(), e.LiveTasks())
+	}
+	if tk.Name() != "worker0" {
+		t.Errorf("Name = %q, want worker0", tk.Name())
+	}
+}
+
+// TestTaskAwaitFiredIsSynchronous: awaiting an already-fired signal runs
+// the continuation inline without touching the event queue — the same
+// no-yield fast path as Proc.Wait on a fired signal.
+func TestTaskAwaitFiredIsSynchronous(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("up")
+	s.Fire()
+	ran := false
+	e.StartTask(0, "t", -1, func(tk *Task) {
+		s.Await(tk, func() { ran = true })
+		if !ran {
+			t.Error("Await on fired signal deferred its continuation")
+		}
+		tk.Finish()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSignalMixedWaitersFIFO parks shim processes and inline tasks on one
+// signal in interleaved order: Fire must wake them strictly in park order,
+// so the two dispatch modes compose without reordering anything.
+func TestSignalMixedWaitersFIFO(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("go")
+	var order []string
+	e.Spawn("p0", func(p *Proc) {
+		p.Wait(s)
+		order = append(order, p.Name())
+	})
+	e.StartTask(0, "t", 1, func(tk *Task) {
+		s.Await(tk, func() {
+			order = append(order, tk.Name())
+			tk.Finish()
+		})
+	})
+	e.Spawn("p2", func(p *Proc) {
+		p.Sleep(0) // park on the signal after t1 (spawn order alone would tie)
+		p.Wait(s)
+		order = append(order, p.Name())
+	})
+	e.Schedule(1, s.Fire)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p0", "t1", "p2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, order[i], want[i])
+		}
+	}
+}
+
+// TestOnFiredSubscription: a subscription runs when the signal fires, and
+// a late subscriber (after the fire) still observes the edge — via an
+// event at the current instant, never synchronously inside OnFired.
+func TestOnFiredSubscription(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("done")
+	var at []float64
+	s.OnFired(func() { at = append(at, e.Now()) })
+	e.Schedule(2, s.Fire)
+	e.Schedule(3, func() {
+		sync := false
+		s.OnFired(func() { sync = true; at = append(at, e.Now()) })
+		if sync {
+			t.Error("late OnFired ran synchronously; must go through the queue")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 2 || at[0] != 2 || at[1] != 3 {
+		t.Errorf("subscriptions fired at %v, want [2 3]", at)
+	}
+}
+
+// TestAwaitAllMatchesWaitAll runs the same scattered fire schedule against
+// a task using AwaitAll and a process using WaitAll: both must resume at
+// the same instant (the sequential in-order wait semantics).
+func TestAwaitAllMatchesWaitAll(t *testing.T) {
+	run := func(useTask bool) float64 {
+		e := NewEngine()
+		sigs := []*Signal{e.NewSignal("a"), e.NewSignal("b"), e.NewSignal("c")}
+		// b fires first, then c, then a: the in-order scan parks on a, then
+		// skips b synchronously, then parks on c only if it is still down.
+		e.Schedule(1, sigs[1].Fire)
+		e.Schedule(2, sigs[2].Fire)
+		e.Schedule(3, sigs[0].Fire)
+		var resumed float64
+		if useTask {
+			e.StartTask(0, "t", -1, func(tk *Task) {
+				AwaitAll(tk, sigs, func() {
+					resumed = tk.Now()
+					tk.Finish()
+				})
+			})
+		} else {
+			e.Spawn("p", func(p *Proc) {
+				p.WaitAll(sigs...)
+				resumed = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return resumed
+	}
+	taskAt, procAt := run(true), run(false)
+	if taskAt != procAt || taskAt != 3 {
+		t.Errorf("AwaitAll resumed at %v, WaitAll at %v, want both 3", taskAt, procAt)
+	}
+}
+
+// TestResourceMixedFIFO alternates shim processes and tasks through a
+// capacity-1 resource: slots must be granted strictly in arrival order,
+// with the uncontended first arrival taking the synchronous fast path.
+func TestResourceMixedFIFO(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("mds", 1)
+	var order []string
+	for i := 0; i < 4; i++ {
+		i := i
+		if i%2 == 0 {
+			e.SpawnIndexed(float64(i)*0.001, "p", i, func(p *Proc) {
+				r.Use(p, 1)
+				order = append(order, p.Name())
+			})
+		} else {
+			e.StartTask(float64(i)*0.001, "t", i, func(tk *Task) {
+				r.UseTask(tk, 1, func() {
+					order = append(order, tk.Name())
+					tk.Finish()
+				})
+			})
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p0", "t1", "p2", "t3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, order[i], want[i])
+		}
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Errorf("resource not drained: inUse=%d queue=%d", r.InUse(), r.QueueLen())
+	}
+}
+
+// TestTaskDeadlockReport: stuck tasks appear in the deadlock error in the
+// same format as stuck processes, merged and sorted with them.
+func TestTaskDeadlockReport(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("never")
+	r := e.NewResource("narrow", 1)
+	e.StartTask(0, "a-task", 7, func(tk *Task) {
+		s.Await(tk, tk.Finish)
+	})
+	e.Spawn("b-proc", func(p *Proc) {
+		r.Acquire(p)
+		p.Wait(s) // holds the slot forever
+	})
+	e.StartTask(0, "c-task", -1, func(tk *Task) {
+		r.AcquireTask(tk, tk.Finish)
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("want deadlock error")
+	}
+	msg := err.Error()
+	for _, frag := range []string{
+		"3 blocked process(es)",
+		`a-task7 (waiting never)`,
+		`b-proc (waiting never)`,
+		`c-task (queued on narrow)`,
+	} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("deadlock report %q missing %q", msg, frag)
+		}
+	}
+}
+
+// TestDrainRetiresTasks: draining a stopped engine forgets parked tasks —
+// no continuation may run afterwards, the engine is inert, and the
+// blocked-task tracking is cleared so a later Run does not re-report them.
+func TestDrainRetiresTasks(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("never")
+	r := e.NewResource("held", 1)
+	resumed := 0
+	for i := 0; i < 3; i++ {
+		e.StartTask(0, "sig", i, func(tk *Task) {
+			s.Await(tk, func() { resumed++ })
+		})
+		e.StartTask(0, "res", i, func(tk *Task) {
+			r.AcquireTask(tk, func() { resumed++ })
+		})
+	}
+	e.StartTask(0, "sleeper", -1, func(tk *Task) {
+		tk.Sleep(1e9, func() { resumed++ })
+	})
+	e.Schedule(1, e.Stop)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.LiveTasks() == 0 {
+		t.Fatal("tasks finished before drain; test lost its subjects")
+	}
+	e.Drain()
+	if e.LiveTasks() != 0 {
+		t.Errorf("LiveTasks = %d after Drain, want 0", e.LiveTasks())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after Drain, want 0", e.Pending())
+	}
+	// The drained engine is inert: Run returns immediately without a
+	// deadlock report — the blocked-task tracking died with the tasks. (The
+	// resource slot was granted to the first arrival synchronously, so its
+	// continuation ran before the stop; resumed counts exactly that one.)
+	before := resumed
+	if err := e.Run(); err != nil {
+		t.Fatalf("drained engine not inert: %v", err)
+	}
+	if resumed != before || resumed != 1 {
+		t.Errorf("resumed = %d (was %d); only the synchronous acquire may have run", resumed, before)
+	}
+}
+
+// TestTaskFinishTwicePanics: double-retirement is a bug in the workload's
+// continuation chain and must fail loudly.
+func TestTaskFinishTwicePanics(t *testing.T) {
+	e := NewEngine()
+	e.StartTask(0, "t", -1, func(tk *Task) {
+		tk.Finish()
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic on second Finish")
+			}
+		}()
+		tk.Finish()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"pfsim/internal/cluster"
+	"pfsim/internal/ior"
+	"pfsim/internal/lustre"
+)
+
+// dispatchScenario mixes every converted execution path in one scenario:
+// a collective write+read job (ad_lustre aggregators, ReadAll), a
+// file-per-process job (per-rank communicator splits and private files),
+// an independent writer (WriteIndependent), and a PLFS logger (container
+// create, per-rank logs, index compaction). Staggered starts keep the
+// jobs genuinely contending rather than phase-locked.
+func dispatchScenario() Scenario {
+	coll := ior.PaperConfig(8)
+	coll.Label = "collective"
+	coll.SegmentCount = 2
+	coll.Reps = 2
+	coll.ReadFile = true
+
+	fpp := ior.PaperConfig(8)
+	fpp.Label = "fpp"
+	fpp.FilePerProc = true
+	fpp.SegmentCount = 2
+	fpp.Reps = 1
+
+	indep := ior.PaperConfig(8)
+	indep.Label = "independent"
+	indep.Collective = false
+	indep.SegmentCount = 2
+	indep.Reps = 1
+
+	return NewScenario("dispatch",
+		Job{Workload: IORJob{Cfg: coll}},
+		Job{Workload: IORJob{Cfg: fpp}, StartAt: 0.5},
+		Job{Workload: IORJob{Cfg: indep}, StartAt: 1},
+		Job{Workload: PLFSLogger{Ranks: 8, MBPerRank: 64, TransferMB: 8}, StartAt: 0.25},
+	)
+}
+
+// TestDispatchModesBitIdentical is the tentpole property test: inline task
+// dispatch (the default) and the goroutine-backed Proc shim must produce
+// byte-identical simulations — every job's trajectory, every bandwidth
+// sample, every OST layout, and the solver's deterministic work counters —
+// across both solver modes and several solve-parallelism widths. Run under
+// -race in CI, this also proves the task path introduces no new sharing.
+func TestDispatchModesBitIdentical(t *testing.T) {
+	plat := cluster.Cab()
+	sc := dispatchScenario()
+	run := func(shim, reference bool, par int) *Result {
+		res, err := RunScenarioWith(plat, sc,
+			RunOptions{Parallelism: par, UseProcShim: shim},
+			func(sys *lustre.System) { sys.Net().UseReferenceSolver(reference) })
+		if err != nil {
+			t.Fatalf("shim=%v reference=%v par=%d: %v", shim, reference, par, err)
+		}
+		return res
+	}
+	for _, reference := range []bool{false, true} {
+		for _, par := range []int{1, 2, 4} {
+			tasks := run(false, reference, par)
+			shim := run(true, reference, par)
+			if math.Float64bits(tasks.Makespan) != math.Float64bits(shim.Makespan) {
+				t.Errorf("reference=%v par=%d: makespan %v (tasks) vs %v (shim)",
+					reference, par, tasks.Makespan, shim.Makespan)
+			}
+			for j := range tasks.Jobs {
+				a, b := &tasks.Jobs[j], &shim.Jobs[j]
+				if math.Float64bits(a.FinishedAt) != math.Float64bits(b.FinishedAt) {
+					t.Errorf("reference=%v par=%d job %q: finish %v (tasks) vs %v (shim)",
+						reference, par, a.Label, a.FinishedAt, b.FinishedAt)
+				}
+				if math.Float64bits(a.WriteMBs()) != math.Float64bits(b.WriteMBs()) {
+					t.Errorf("reference=%v par=%d job %q: write %v (tasks) vs %v (shim)",
+						reference, par, a.Label, a.WriteMBs(), b.WriteMBs())
+				}
+				if math.Float64bits(a.IOR.Read.Mean()) != math.Float64bits(b.IOR.Read.Mean()) {
+					t.Errorf("reference=%v par=%d job %q: read %v (tasks) vs %v (shim)",
+						reference, par, a.Label, a.IOR.Read.Mean(), b.IOR.Read.Mean())
+				}
+				if !reflect.DeepEqual(a.IOR.LayoutOSTs, b.IOR.LayoutOSTs) {
+					t.Errorf("reference=%v par=%d job %q: OST layouts diverged",
+						reference, par, a.Label)
+				}
+			}
+			// The full flow.Stats struct: a single diverging solve, link
+			// visit, or heap operation anywhere in the run fails this.
+			if tasks.Solver != shim.Solver {
+				t.Errorf("reference=%v par=%d: solver counters diverged:\ntasks %+v\nshim  %+v",
+					reference, par, tasks.Solver, shim.Solver)
+			}
+		}
+	}
+}
+
+// TestDispatchCancelDrainsTasks: a task-mode run cancelled mid-flight must
+// surface ctx.Err() and leave nothing behind — inline tasks retire in
+// Engine.Drain without any goroutine to unwind, so the goroutine count
+// returns to its baseline just as the shim's unwind path guarantees.
+func TestDispatchCancelDrainsTasks(t *testing.T) {
+	plat := cluster.Cab()
+	sc := dispatchScenario()
+	full, err := RunScenario(plat, sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Makespan <= 2 {
+		t.Fatalf("scenario too short (%v s) to cancel mid-run", full.Makespan)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	goroutines := runtime.NumGoroutine()
+	var stoppedAt float64
+	res, err := RunScenarioWith(plat, sc, RunOptions{Ctx: ctx},
+		func(sys *lustre.System) {
+			sys.Engine().Schedule(1, func() {
+				cancel()
+				stoppedAt = sys.Engine().Now()
+			})
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a partial result")
+	}
+	if stoppedAt == 0 {
+		t.Error("cancel event never fired: engine did not reach t=1")
+	}
+	// Task mode parks no goroutines, but the solver pool and runtime still
+	// reap asynchronously — poll briefly like the sharded shim test does.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > goroutines {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled task-mode run leaked goroutines: %d before, %d after",
+				goroutines, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -418,6 +418,11 @@ func RunScenarioWith(plat *cluster.Platform, s Scenario, opts RunOptions, instru
 	if err != nil {
 		return nil, err
 	}
+	if opts.UseProcShim {
+		for i := range cfgs {
+			cfgs[i].UseProcShim = true
+		}
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = plat.Seed
@@ -480,9 +485,10 @@ func launchScenario(sys *lustre.System, s Scenario, cfgs []ior.Config, res *Resu
 			}
 			ls.running[i] = rj
 			res.Jobs[i].IOR = rj.Result
-			eng.Spawn(cfgs[i].Label+"-watch", func(p *sim.Proc) {
-				p.Wait(rj.Done)
-				res.Jobs[i].FinishedAt = p.Now()
+			// A subscription, not a watcher process: the completion stamp
+			// needs no goroutine parked for the whole run.
+			rj.Done.OnFired(func() {
+				res.Jobs[i].FinishedAt = eng.Now()
 			})
 		}
 		if s.Jobs[i].StartAt > 0 {
