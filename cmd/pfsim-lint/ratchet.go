@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pfsim/internal/analysis/framework"
+)
+
+// A baseline is the committed ratchet state: analyzer name → package
+// import path → allowed finding count. The mechanism is generic — any
+// analyzer named in the file is compared — but only the analyzers in
+// ratchetedDefault are recorded by -ratchet-update, because a ratchet
+// is for findings that are *inventory* (existing debt being paid down)
+// rather than regressions: procshim findings enumerate the remaining
+// Proc shim callers ROADMAP item 2 still has to convert, and the
+// baseline is the audit trail of that deferral.
+type baseline map[string]map[string]int
+
+// ratchetedDefault lists the analyzers -ratchet-update records.
+var ratchetedDefault = []string{"procshim"}
+
+// ratchetAuto is the -ratchet default: use <dir>/ratchet.json when it
+// exists, otherwise run unratcheted (so trees without a baseline — the
+// golden-test fixture module — report ratcheted analyzers' findings
+// directly).
+const ratchetAuto = "auto"
+
+// resolveRatchet maps the -ratchet flag value to a concrete path and
+// loads the baseline. A relative path resolves against -dir, like the
+// package patterns. An explicitly named file must exist unless
+// -ratchet-update is about to create it; the auto default tolerates
+// absence. Empty path disables the ratchet entirely.
+func resolveRatchet(absDir, path string, update bool) (string, baseline, error) {
+	if path == "" {
+		return "", nil, nil
+	}
+	auto := path == ratchetAuto
+	p := path
+	if auto {
+		p = "ratchet.json"
+	}
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(absDir, p)
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		if auto || update {
+			return p, nil, nil
+		}
+		return "", nil, fmt.Errorf("ratchet baseline %s does not exist (run -ratchet-update to create it)", path)
+	}
+	if err != nil {
+		return "", nil, fmt.Errorf("ratchet baseline: %w", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return "", nil, fmt.Errorf("ratchet baseline %s: %w", path, err)
+	}
+	return p, b, nil
+}
+
+// formatBaseline renders a baseline byte-deterministically: JSON object
+// keys are marshaled in sorted order, two-space indent, trailing
+// newline — so -ratchet-update on an unchanged tree is byte-idempotent
+// and the committed file diffs minimally.
+func formatBaseline(b baseline) []byte {
+	if len(b) == 0 {
+		return []byte("{}\n")
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		panic(err) // map[string]map[string]int cannot fail to marshal
+	}
+	return append(data, '\n')
+}
+
+// compareRatchet diffs current counts for one analyzer against the
+// baseline, printing growth as violations (with the offending findings)
+// and shrinkage as a note inviting a baseline update. It returns the
+// number of violations charged to the exit status.
+func compareRatchet(w io.Writer, name string, base map[string]int, counts map[string]int,
+	byPkg map[string][]framework.Finding, print func(framework.Finding)) int {
+	pkgs := map[string]bool{}
+	for pkg := range base {
+		pkgs[pkg] = true
+	}
+	for pkg := range counts {
+		pkgs[pkg] = true
+	}
+	var order []string
+	for pkg := range pkgs {
+		order = append(order, pkg)
+	}
+	sort.Strings(order)
+	violations := 0
+	for _, pkg := range order {
+		cur, allowed := counts[pkg], base[pkg]
+		switch {
+		case cur > allowed:
+			fmt.Fprintf(w, "ratchet: %s: %s grew %d -> %d; the budget only shrinks — convert the new callers, or audit and run -ratchet-update\n",
+				name, pkg, allowed, cur)
+			for _, f := range byPkg[pkg] {
+				print(f)
+				violations++
+			}
+		case cur < allowed:
+			fmt.Fprintf(w, "ratchet: %s: %s shrank %d -> %d; run -ratchet-update to lock in the smaller budget\n",
+				name, pkg, allowed, cur)
+		}
+	}
+	return violations
+}

@@ -1,0 +1,11 @@
+package flow
+
+import "lintfixture/internal/sim"
+
+// WaitDone parks a continuation that illegally blocks on a real
+// channel — the seeded taskctx violation for the golden test.
+func WaitDone(s *sim.Signal, t *sim.Task, ch chan int) {
+	s.Await(t, func() {
+		<-ch
+	})
+}

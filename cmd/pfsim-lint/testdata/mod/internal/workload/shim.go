@@ -1,0 +1,12 @@
+package workload
+
+import "lintfixture/internal/sim"
+
+// LegacySpawn still drives the goroutine-backed shim — the seeded
+// procshim violations for the golden test (spawn call, Proc type
+// reference, Proc method call).
+func LegacySpawn(e *sim.Engine, s *sim.Signal) {
+	e.Spawn("w", func(p *sim.Proc) {
+		p.Wait(s)
+	})
+}

@@ -56,7 +56,8 @@ func runFleet(tb testing.TB, writers int, useTasks bool) int {
 		} else {
 			e.SpawnIndexed(float64(i)*fleetStagger, "w", i, func(p *sim.Proc) {
 				mds.Use(p, fleetCreateCost)
-				n.TransferAndWait(p, "fleet-write", fleetWriteMB, fleetWriteRate, link)
+				f := n.Start("fleet-write", fleetWriteMB, fleetWriteRate, link)
+				p.Wait(f.Done)
 				completed++
 			})
 		}

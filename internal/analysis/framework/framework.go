@@ -50,6 +50,10 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds type and object resolution for Files.
 	TypesInfo *types.Info
+	// Prog is the whole loaded package set, for interprocedural
+	// analyzers that stitch reachability across packages (taskctx).
+	// Per-package analyzers can ignore it.
+	Prog *Program
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 
@@ -96,11 +100,19 @@ var simCritical = []string{
 // the same way as the real module (pfsim/internal/flow).
 func SimCritical(path string) bool {
 	for _, tail := range simCritical {
-		if path == tail || strings.HasSuffix(path, "/"+tail) {
+		if HasPathTail(path, tail) {
 			return true
 		}
 	}
 	return false
+}
+
+// HasPathTail reports whether the import path is tail or ends in
+// "/"+tail — the fixture-friendly package matching every analyzer in
+// this suite uses (pfsim/internal/sim and fixture/internal/sim both
+// match "internal/sim").
+func HasPathTail(path, tail string) bool {
+	return path == tail || strings.HasSuffix(path, "/"+tail)
 }
 
 // SimCriticalList returns the protected path tails (for documentation

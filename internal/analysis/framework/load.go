@@ -38,9 +38,17 @@ type listedPackage struct {
 // then parses and type-checks every matched package. Only GoFiles are
 // analyzed: _test.go files intentionally exercise wall-clock waits and
 // ad-hoc goroutines, so the determinism invariants bind shipped
-// simulator code only. Cross-package types resolve through the standard
-// library's source importer, so no pre-built export data is required.
-// Packages return sorted by import path for deterministic output.
+// simulator code only.
+//
+// Imports between matched packages resolve to the loaded packages
+// themselves (memoized, dependency-first), so every *types.Object is
+// shared program-wide: a use of lustre.MDS.CreateK inside internal/mpiio
+// is the same *types.Func the lustre package declares. That identity is
+// what lets Program.CallGraph stitch per-package graphs into one
+// cross-package reachability structure. Imports outside the matched set
+// (the standard library) fall back to the source importer, so no
+// pre-built export data is required. Packages return sorted by import
+// path for deterministic output.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -49,26 +57,72 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	var pkgs []*Package
+	ld := &setImporter{
+		fset:     fset,
+		listed:   map[string]*listedPackage{},
+		loaded:   map[string]*Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
 	for _, lp := range listed {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
 		}
+		ld.listed[lp.ImportPath] = lp
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		var files []string
-		for _, f := range lp.GoFiles {
-			files = append(files, filepath.Join(lp.Dir, f))
-		}
-		pkg, err := Check(fset, imp, lp.ImportPath, lp.Dir, files)
+		pkg, err := ld.load(lp)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// setImporter type-checks the listed package set with shared object
+// identity: an import of a listed package resolves to the checked
+// package itself (loading it on first demand, dependency-first), and
+// everything else — in practice the standard library — falls back to
+// the source importer. Go forbids import cycles, so the recursion
+// terminates.
+type setImporter struct {
+	fset     *token.FileSet
+	listed   map[string]*listedPackage
+	loaded   map[string]*Package
+	fallback types.Importer
+}
+
+// Import implements types.Importer.
+func (si *setImporter) Import(path string) (*types.Package, error) {
+	if lp, ok := si.listed[path]; ok && len(lp.GoFiles) > 0 {
+		pkg, err := si.load(lp)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return si.fallback.Import(path)
+}
+
+// load parses and type-checks one listed package (memoized).
+func (si *setImporter) load(lp *listedPackage) (*Package, error) {
+	if pkg, ok := si.loaded[lp.ImportPath]; ok {
+		return pkg, nil
+	}
+	var files []string
+	for _, f := range lp.GoFiles {
+		files = append(files, filepath.Join(lp.Dir, f))
+	}
+	pkg, err := Check(si.fset, si, lp.ImportPath, lp.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	si.loaded[lp.ImportPath] = pkg
+	return pkg, nil
 }
 
 // Check parses and type-checks one package from explicit file paths.
@@ -144,8 +198,17 @@ type Finding struct {
 // sorted by file, line, column, then analyzer name — a stable order for
 // golden-tested CLI output.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	return RunOn(NewProgram(pkgs), analyzers, pkgs)
+}
+
+// RunOn is Run with the program supplied by the caller, for drivers
+// that analyze a subset of targets but need interprocedural analyzers
+// to see the whole loaded set (analysistest checks one fixture package
+// at a time against a program spanning all of them). Every target must
+// be a package of prog.
+func RunOn(prog *Program, analyzers []*Analyzer, targets []*Package) ([]Finding, error) {
 	var findings []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range targets {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -153,6 +216,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 			}
 			pass.Report = func(d Diagnostic) {
 				findings = append(findings, Finding{

@@ -1,0 +1,146 @@
+// Package procshim defines an analyzer inventorying callers of the
+// goroutine-backed Proc compatibility shim outside internal/sim.
+//
+// PR 9 rewrote workload dispatch onto inline resumable tasks; the
+// channel-rendezvous Proc API survives only as a property-tested
+// compatibility shim, and ROADMAP item 2 defers its deletion until the
+// remaining callers are converted. This analyzer makes that deferral a
+// monotone budget: every reference to the shim surface outside
+// internal/sim is a finding, and pfsim-lint's ratchet mechanism
+// (-ratchet ratchet.json) compares per-package finding counts against a
+// committed baseline, failing only when a count grows. New code
+// therefore cannot reach for the shim, while existing audited callers
+// keep building until their conversion PR shrinks the budget.
+//
+// The shim surface is:
+//
+//   - any mention of the sim.Proc type (parameters, fields, variables);
+//   - the spawn entry points Engine.Spawn/SpawnAfter/SpawnIndexed and
+//     every method on *sim.Proc;
+//   - the blocking resource forms Resource.Acquire and Resource.Use;
+//   - calls to any function taking a *sim.Proc parameter (the
+//     cross-package proc-mode surface, e.g. an MDS.Create proc form).
+//
+// There is deliberately no directive escape hatch: the committed
+// ratchet baseline is the audit trail, updated with -ratchet-update.
+package procshim
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pfsim/internal/analysis/framework"
+)
+
+// Analyzer flags shim Proc API usage outside internal/sim.
+var Analyzer = &framework.Analyzer{
+	Name: "procshim",
+	Doc: "inventory goroutine-backed Proc shim usage outside internal/sim\n\n" +
+		"Every reference to the sim.Proc type, spawn/blocking shim primitive, or\n" +
+		"*sim.Proc-taking function is a finding. pfsim-lint's ratchet compares\n" +
+		"per-package counts to the committed ratchet.json baseline and fails\n" +
+		"only on growth, so the shim's caller set can only shrink.",
+	Run: run,
+}
+
+const simTail = "internal/sim"
+
+func run(pass *framework.Pass) (any, error) {
+	if framework.HasPathTail(pass.Pkg.Path(), simTail) {
+		return nil, nil // the shim's home is allowed to implement it
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if isProcTypeName(info.Uses[n]) {
+					pass.Reportf(n.Pos(), "shim type sim.Proc referenced outside internal/sim; new code must use the inline task forms (budgeted by the procshim ratchet)")
+				}
+			case *ast.CallExpr:
+				callee := framework.StaticCallee(n, info)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				if desc, ok := shimPrimitive(callee); ok {
+					pass.Reportf(n.Pos(), "shim Proc API call %s outside internal/sim; new code must use the inline task forms (budgeted by the procshim ratchet)", desc)
+					return true
+				}
+				if takesProc(callee) {
+					pass.Reportf(n.Pos(), "call to proc-mode function %s (takes *sim.Proc) outside internal/sim; new code must use the inline task forms (budgeted by the procshim ratchet)", framework.FuncName(callee))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isProcTypeName reports whether obj is the Proc type name declared in
+// an internal/sim package.
+func isProcTypeName(obj types.Object) bool {
+	tn, ok := obj.(*types.TypeName)
+	return ok && tn.Name() == "Proc" && tn.Pkg() != nil &&
+		framework.HasPathTail(tn.Pkg().Path(), simTail)
+}
+
+// shimPrimitive classifies direct calls into the shim API declared by
+// internal/sim: the spawn entry points, every *Proc method, and the
+// blocking resource forms.
+func shimPrimitive(fn *types.Func) (string, bool) {
+	if !framework.HasPathTail(fn.Pkg().Path(), simTail) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	switch named.Obj().Name() {
+	case "Proc":
+		return "sim.Proc." + fn.Name(), true
+	case "Engine":
+		switch fn.Name() {
+		case "Spawn", "SpawnAfter", "SpawnIndexed":
+			return "sim.Engine." + fn.Name(), true
+		}
+	case "Resource":
+		switch fn.Name() {
+		case "Acquire", "Use":
+			return "sim.Resource." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// takesProc reports whether any parameter of fn is *sim.Proc — the
+// cross-package proc-mode surface.
+func takesProc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		pt := params.At(i).Type()
+		p, ok := pt.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := p.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		if isProcTypeName(named.Obj()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package procshim_test
+
+import (
+	"testing"
+
+	"pfsim/internal/analysis/analysistest"
+	"pfsim/internal/analysis/procshim"
+)
+
+// TestProcshim checks every counted shim-surface class (type
+// references, spawn entry points, Proc methods, blocking resource
+// forms, cross-package *sim.Proc-taking calls), that task-mode code
+// stays silent, and that the shim's home package is exempt.
+func TestProcshim(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), procshim.Analyzer,
+		"fixture/internal/ior", "fixture/internal/plfs", "fixture/internal/sim")
+}

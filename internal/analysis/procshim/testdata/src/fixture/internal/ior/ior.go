@@ -1,0 +1,26 @@
+// Package ior exercises every shim-surface class the procshim analyzer
+// counts: the spawn entry point, Proc type references, Proc methods,
+// blocking resource forms, and cross-package proc-mode calls — next to
+// a task-mode driver that must stay silent.
+package ior
+
+import (
+	"fixture/internal/plfs"
+	"fixture/internal/sim"
+)
+
+// Legacy drives the workload through the goroutine-backed shim.
+func Legacy(e *sim.Engine, r *sim.Resource, s *sim.Signal) {
+	e.Spawn("w", func(p *sim.Proc) { // want `shim Proc API call sim\.Engine\.Spawn outside internal/sim` `shim type sim\.Proc referenced outside internal/sim`
+		plfs.Write(p, s) // want `call to proc-mode function Write \(takes \*sim\.Proc\) outside internal/sim`
+		r.Use(p, 1)      // want `shim Proc API call sim\.Resource\.Use outside internal/sim`
+		p.Sleep(2)       // want `shim Proc API call sim\.Proc\.Sleep outside internal/sim`
+	})
+}
+
+// Modern drives the same workload as an inline task: clean.
+func Modern(e *sim.Engine, r *sim.Resource) {
+	e.StartTask(0, "w", 1, func(t *sim.Task) {
+		plfs.WriteK(t, r, func() {})
+	})
+}

@@ -1,0 +1,16 @@
+// Package plfs carries a proc-mode API surface: the *sim.Proc
+// parameter makes every declaration and call part of the ratcheted
+// shim inventory.
+package plfs
+
+import "fixture/internal/sim"
+
+// Write is the proc-mode form of a log append.
+func Write(p *sim.Proc, s *sim.Signal) { // want `shim type sim\.Proc referenced outside internal/sim`
+	p.Wait(s) // want `shim Proc API call sim\.Proc\.Wait outside internal/sim`
+}
+
+// WriteK is the inline-task form: no shim surface, no findings.
+func WriteK(t *sim.Task, r *sim.Resource, k func()) {
+	r.UseTask(t, 1, k)
+}

@@ -1,0 +1,37 @@
+// Package sim is the shim's home: declaring and implementing the Proc
+// API here is allowed, so this package must produce no findings.
+package sim
+
+type Engine struct{ procs int }
+
+type Proc struct{ eng *Engine }
+
+type Task struct{ eng *Engine }
+
+type Signal struct{ fired bool }
+
+type Resource struct{ inUse int }
+
+// Spawn starts a goroutine-backed shim process.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{eng: e}
+	e.procs++
+	return p
+}
+
+// StartTask begins an inline task.
+func (e *Engine) StartTask(delay float64, label string, id int, body func(*Task)) *Task {
+	return &Task{eng: e}
+}
+
+// Wait blocks the shim process until the signal fires.
+func (p *Proc) Wait(s *Signal) {}
+
+// Sleep blocks the shim process for d seconds.
+func (p *Proc) Sleep(d float64) {}
+
+// Use acquires, holds for service seconds, and releases (shim form).
+func (r *Resource) Use(p *Proc, service float64) { r.inUse++ }
+
+// UseTask is the inline-task form of Use.
+func (r *Resource) UseTask(t *Task, service float64, k func()) { k() }

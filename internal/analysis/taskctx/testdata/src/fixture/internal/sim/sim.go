@@ -1,0 +1,72 @@
+// Package sim is a miniature of the real engine surface: annotated CPS
+// entry points, the blocking shim primitives, and an audited spawn
+// path. It must stay clean under taskctx — the escape hatches on the
+// shim machinery are part of what the fixture exercises.
+package sim
+
+type Engine struct{ tasks int }
+
+type Task struct{ eng *Engine }
+
+type Proc struct{ eng *Engine }
+
+type Signal struct{ fired bool }
+
+type Resource struct{ inUse int }
+
+func NewEngine() *Engine { return &Engine{} }
+
+// Schedule queues fn to run on the event loop after delay seconds.
+//
+//pfsim:taskctx
+func (e *Engine) Schedule(delay float64, fn func()) {}
+
+// StartTask begins an inline task; body runs on the event loop.
+//
+//pfsim:taskctx
+func (e *Engine) StartTask(delay float64, label string, id int, body func(*Task)) *Task {
+	t := &Task{eng: e}
+	e.Schedule(delay, func() { body(t) })
+	return t
+}
+
+// Run drives the event loop to completion.
+func (e *Engine) Run() error { return nil }
+
+// Spawn starts a goroutine-backed shim process.
+//
+//pfsim:taskctxok audited shim entry: the body escapes to an engine-managed goroutine
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	return &Proc{eng: e}
+}
+
+// Await runs k once the signal fires.
+//
+//pfsim:taskctx
+func (s *Signal) Await(t *Task, k func()) {
+	if s.fired {
+		k()
+	}
+}
+
+// Fire marks the signal fired.
+func (s *Signal) Fire() { s.fired = true }
+
+// Sleep runs k after d seconds of virtual time.
+//
+//pfsim:taskctx
+func (t *Task) Sleep(d float64, k func()) { t.eng.Schedule(d, k) }
+
+// AcquireTask grants the task a slot, running k once one is free.
+//
+//pfsim:taskctx
+func (r *Resource) AcquireTask(t *Task, k func()) { k() }
+
+// Wait blocks the shim process until the signal fires.
+func (p *Proc) Wait(s *Signal) {}
+
+// Sleep blocks the shim process for d seconds.
+func (p *Proc) Sleep(d float64) {}
+
+// Acquire blocks the shim process until a slot is free.
+func (r *Resource) Acquire(p *Proc) { r.inUse++ }

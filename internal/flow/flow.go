@@ -1810,16 +1810,12 @@ func Dones(flows []*Flow) []*sim.Signal {
 	return out
 }
 
-// TransferAndWait starts a flow and blocks the calling process until it
-// completes; it returns the flow for inspection.
-func (n *Net) TransferAndWait(p *sim.Proc, name string, sizeMB, maxRate float64, path ...*Link) *Flow {
-	f := n.Start(name, sizeMB, maxRate, path...)
-	p.Wait(f.Done)
-	return f
-}
-
-// TransferThen is TransferAndWait for task-mode callers: it starts a flow
-// and runs k with it on completion.
+// TransferThen starts a flow and runs k with it on completion — the
+// continuation form of "transfer and wait". (Shim-mode callers start the
+// flow and Wait on its Done signal inline; the proc convenience wrapper
+// was deleted when the procshim ratchet landed.)
+//
+//pfsim:taskctx
 func (n *Net) TransferThen(t *sim.Task, name string, sizeMB, maxRate float64, k func(*Flow), path ...*Link) *Flow {
 	f := n.Start(name, sizeMB, maxRate, path...)
 	f.Done.Await(t, func() { k(f) })

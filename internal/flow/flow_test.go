@@ -226,7 +226,8 @@ func TestTransferAndWait(t *testing.T) {
 	var took float64
 	e.Spawn("client", func(p *sim.Proc) {
 		start := p.Now()
-		n.TransferAndWait(p, "xfer", 500, 0, l)
+		f := n.Start("xfer", 500, 0, l)
+		p.Wait(f.Done)
 		took = p.Now() - start
 	})
 	if err := e.Run(); err != nil {

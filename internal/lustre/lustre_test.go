@@ -62,11 +62,21 @@ func TestInvalidPlatformRejected(t *testing.T) {
 	MustNewSystem(sim.NewEngine(), p, stats.NewRNG(1))
 }
 
+// mustCreate is the deleted MDS.MustCreate shim convenience, kept
+// test-local: Create with validated specs, panicking on error.
+func mustCreate(m *MDS, p *sim.Proc, name string, spec StripeSpec) *File {
+	f, err := m.Create(p, name, spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 func TestMDSCreateDefaults(t *testing.T) {
 	eng, sys := newSys(t, testPlat())
 	var f *File
 	eng.Spawn("creator", func(p *sim.Proc) {
-		f = sys.MDS().MustCreate(p, "checkpoint", DefaultSpec())
+		f = mustCreate(sys.MDS(), p, "checkpoint", DefaultSpec())
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -88,7 +98,7 @@ func TestMDSCreateDefaults(t *testing.T) {
 func TestMDSCreatePinnedOffset(t *testing.T) {
 	eng, sys := newSys(t, testPlat())
 	eng.Spawn("creator", func(p *sim.Proc) {
-		f := sys.MDS().MustCreate(p, "pinned", StripeSpec{Count: 4, SizeMB: 1, OffsetOST: 478})
+		f := mustCreate(sys.MDS(), p, "pinned", StripeSpec{Count: 4, SizeMB: 1, OffsetOST: 478})
 		want := []int{478, 479, 0, 1} // wraps around
 		for i, o := range f.Layout.OSTs {
 			if o != want[i] {
@@ -104,7 +114,7 @@ func TestMDSCreatePinnedOffset(t *testing.T) {
 func TestMDSCreateRandomDistinct(t *testing.T) {
 	eng, sys := newSys(t, testPlat())
 	eng.Spawn("creator", func(p *sim.Proc) {
-		f := sys.MDS().MustCreate(p, "wide", StripeSpec{Count: 160, SizeMB: 128, OffsetOST: -1})
+		f := mustCreate(sys.MDS(), p, "wide", StripeSpec{Count: 160, SizeMB: 128, OffsetOST: -1})
 		seen := map[int]bool{}
 		for _, o := range f.Layout.OSTs {
 			if o < 0 || o >= 480 || seen[o] {
@@ -141,7 +151,7 @@ func TestMDSSerializes(t *testing.T) {
 	var finish []float64
 	for i := 0; i < 3; i++ {
 		eng.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
-			sys.MDS().MustCreate(p, p.Name(), DefaultSpec())
+			mustCreate(sys.MDS(), p, p.Name(), DefaultSpec())
 			finish = append(finish, p.Now())
 		})
 	}
@@ -484,7 +494,7 @@ func TestMDSAllocationUniform(t *testing.T) {
 	counts := make([]int, sys.NumOSTs())
 	eng.Spawn("creator", func(p *sim.Proc) {
 		for i := 0; i < 600; i++ {
-			f := sys.MDS().MustCreate(p, fmt.Sprintf("f%d", i), StripeSpec{Count: 160, SizeMB: 1, OffsetOST: -1})
+			f := mustCreate(sys.MDS(), p, fmt.Sprintf("f%d", i), StripeSpec{Count: 160, SizeMB: 1, OffsetOST: -1})
 			for _, o := range f.Layout.OSTs {
 				counts[o]++
 			}

@@ -145,6 +145,8 @@ func (m *MDS) Create(p *sim.Proc, name string, spec StripeSpec) (*File, error) {
 // after the metadata service time. A spec error is delivered
 // synchronously, before any service time is charged, exactly like
 // Create's early return.
+//
+//pfsim:taskctx
 func (m *MDS) CreateK(t *sim.Task, name string, spec StripeSpec, k func(*File, error)) {
 	spec, err := m.normalizeSpec(spec)
 	if err != nil {
@@ -156,16 +158,6 @@ func (m *MDS) CreateK(t *sim.Task, name string, spec StripeSpec, k func(*File, e
 	})
 }
 
-// MustCreate is Create, panicking on spec errors; for callers with
-// validated specs.
-func (m *MDS) MustCreate(p *sim.Proc, name string, spec StripeSpec) *File {
-	f, err := m.Create(p, name, spec)
-	if err != nil {
-		panic(err)
-	}
-	return f
-}
-
 // Stat models a cheap metadata query (open of an existing file, unlink,
 // etc.), charging one metadata service time.
 func (m *MDS) Stat(p *sim.Proc) {
@@ -173,6 +165,8 @@ func (m *MDS) Stat(p *sim.Proc) {
 }
 
 // StatK is Stat for task-mode callers: k runs after the service time.
+//
+//pfsim:taskctx
 func (m *MDS) StatK(t *sim.Task, k func()) {
 	m.res.UseTask(t, m.sys.plat.MDSOpTime, k)
 }

@@ -79,6 +79,8 @@ func (w *World) Done() *sim.Signal { return w.done }
 // backed process each (the compatibility shim — see LaunchTasks for the
 // inline-dispatch form). Run the engine to execute them; Done fires when
 // all bodies return.
+//
+//pfsim:taskctxok audited shim launcher: rank bodies escape to spawned shim goroutines, not the event loop
 func (w *World) Launch(body func(r *Rank)) {
 	for i := 0; i < w.size; i++ {
 		rank := &Rank{world: w, id: i}
@@ -100,6 +102,8 @@ func (w *World) Launch(body func(r *Rank)) {
 // once when the rank's workload is complete. Done fires when every rank
 // has finished; both launchers map onto identical engine scheduling, so a
 // workload ported between them is byte-identical.
+//
+//pfsim:taskctx
 func (w *World) LaunchTasks(body func(r *Rank, done func())) {
 	for i := 0; i < w.size; i++ {
 		rank := &Rank{world: w, id: i}

@@ -129,6 +129,7 @@ func (e *Engine) Now() float64 { return e.now }
 // returns the event so callers may cancel it.
 //
 //pfsim:hotpath
+//pfsim:taskctx
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	if math.IsNaN(delay) {
 		panic("sim: scheduled with NaN delay") //pfsim:allocok crash path: the boxed panic message never allocates on a live run
@@ -145,6 +146,7 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 // is still growing, and a steady-state simulation runs allocation-free.
 //
 //pfsim:hotpath
+//pfsim:taskctx
 func (e *Engine) ScheduleAt(at float64, fn func()) *Event {
 	if math.IsNaN(at) {
 		// A NaN deadline compares false against everything, so it would

@@ -36,11 +36,15 @@ type procKilled struct{}
 // Spawn starts a new process at the current virtual time. The body runs
 // when the engine reaches the start event. Spawn may be called before Run
 // or from inside events and other processes.
+//
+//pfsim:taskctxok audited shim entry: the body escapes to an engine-managed goroutine, not the event loop
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	return e.SpawnAfter(0, name, body)
 }
 
 // SpawnAfter starts a process after delay seconds of virtual time.
+//
+//pfsim:taskctxok audited shim entry: the body escapes to an engine-managed goroutine, not the event loop
 func (e *Engine) SpawnAfter(delay float64, name string, body func(p *Proc)) *Proc {
 	return e.SpawnIndexed(delay, name, -1, body)
 }
@@ -49,6 +53,8 @@ func (e *Engine) SpawnAfter(delay float64, name string, body func(p *Proc)) *Pro
 // launchers spawn tens of thousands of ranks, and the name is only ever
 // read by deadlock reports and diagnostics, so it must not be built per
 // spawn). A negative id names the process label alone.
+//
+//pfsim:taskctxok audited shim entry: the body escapes to an engine-managed goroutine, not the event loop
 func (e *Engine) SpawnIndexed(delay float64, label string, id int, body func(p *Proc)) *Proc {
 	p := &Proc{eng: e, label: label, id: id, resume: make(chan struct{})}
 	p.transferFn = p.transfer
@@ -72,7 +78,7 @@ func (e *Engine) SpawnIndexed(delay float64, label string, id int, body func(p *
 	e.live = append(e.live, p)
 	e.Schedule(delay, func() {
 		p.started = true
-		go func() {
+		go func() { //pfsim:taskctxok the shim's one goroutine spawn; Drain unwinds it and TestEngineFleetGoroutinesO1 bounds it
 			defer func() {
 				if r := recover(); r != nil {
 					if _, ok := r.(procKilled); !ok {
@@ -96,6 +102,8 @@ func (e *Engine) SpawnIndexed(delay float64, label string, id int, body func(p *
 
 // transfer hands control to the process and blocks the engine until the
 // process yields (by sleeping, waiting, or finishing).
+//
+//pfsim:taskctxok audited shim rendezvous: runs only while a parked shim goroutine holds the other end
 func (p *Proc) transfer() {
 	p.resume <- struct{}{}
 	<-p.eng.yield

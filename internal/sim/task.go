@@ -35,6 +35,8 @@ type Task struct {
 // start tens of thousands of tasks and the name is only ever read by
 // deadlock reports and diagnostics. A negative id names the task label
 // alone.
+//
+//pfsim:taskctx
 func (e *Engine) StartTask(delay float64, label string, id int, body func(t *Task)) *Task {
 	t := &Task{eng: e, label: label, id: id}
 	e.tasks++
@@ -77,6 +79,7 @@ func (t *Task) Done() bool { return t.done }
 // same Schedule call, no goroutine handoff.
 //
 //pfsim:hotpath
+//pfsim:taskctx
 func (t *Task) Sleep(d float64, k func()) {
 	t.eng.Schedule(d, k)
 }
@@ -88,6 +91,7 @@ func (t *Task) Sleep(d float64, k func()) {
 // waiting Proc.
 //
 //pfsim:hotpath
+//pfsim:taskctx
 func (s *Signal) Await(t *Task, k func()) {
 	if s.fired {
 		k()
@@ -104,6 +108,8 @@ func (s *Signal) Await(t *Task, k func()) {
 // joins the waiter list like any other waiter. A subscription is not
 // tracked for deadlock detection — a watcher that never fires is not a
 // stuck workload.
+//
+//pfsim:taskctx
 func (s *Signal) OnFired(k func()) {
 	if s.fired {
 		s.eng.Schedule(0, k)
@@ -120,6 +126,7 @@ func (s *Signal) OnFired(k func()) {
 // sequential Wait loop.
 //
 //pfsim:hotpath
+//pfsim:taskctx
 func AwaitAll(t *Task, sigs []*Signal, k func()) {
 	awaitFrom(t, sigs, 0, k)
 }
@@ -140,6 +147,7 @@ func awaitFrom(t *Task, sigs []*Signal, i int, k func()) {
 // acquire runs k synchronously, matching the shim's no-yield fast path.
 //
 //pfsim:hotpath
+//pfsim:taskctx
 func (r *Resource) AcquireTask(t *Task, k func()) {
 	if r.inUse < r.capacity && len(r.queue) == 0 {
 		r.inUse++
@@ -155,6 +163,7 @@ func (r *Resource) AcquireTask(t *Task, k func()) {
 // fixed-cost-server pattern on the MDS hot path.
 //
 //pfsim:hotpath
+//pfsim:taskctx
 func (r *Resource) UseTask(t *Task, service float64, k func()) {
 	r.AcquireTask(t, func() { //pfsim:allocok one continuation per Use — the CPS form of the call frame the shim parks a whole goroutine stack for
 		t.Sleep(service, func() { //pfsim:allocok one continuation per Use (see above)
